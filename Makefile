@@ -1,0 +1,48 @@
+# GO-SAMOA — reproduction of "SAMOA: Framework for Synchronisation
+# Augmented Microprotocol Approach" (IPDPS 2004). Stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test race bench eval eval-quick fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (slower; what CI should run).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The evaluation tables of EXPERIMENTS.md.
+eval:
+	$(GO) run ./cmd/samoa-bench
+
+eval-quick:
+	$(GO) run ./cmd/samoa-bench -quick
+
+# Short fuzzing passes over the decode paths.
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzReaderNeverPanics -fuzztime 20s
+	$(GO) test ./internal/gc -fuzz FuzzDecodeMessages -fuzztime 20s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/viewchange
+	$(GO) run ./examples/rollback
+	$(GO) run ./examples/transport
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/groupcomm
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,206 @@
+// Root-level testing.B benchmarks, one family per experiment in
+// EXPERIMENTS.md. Each benchmark exercises the corresponding workload from
+// internal/bench per iteration; run cmd/samoa-bench for the full tables.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkE1Fig1 runs one concurrent execution of Figure 1's external
+// events per iteration, per controller.
+func BenchmarkE1Fig1(b *testing.B) {
+	for _, v := range bench.PaperVariants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			f := bench.NewFig1(v, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.RunOnce()
+			}
+		})
+	}
+}
+
+// BenchmarkE2SpawnOnly measures the cost of an empty computation
+// (spawn + complete).
+func BenchmarkE2SpawnOnly(b *testing.B) {
+	for _, v := range bench.Variants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			w := bench.NewCallWorkload(v, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunSpawnOnly(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2HandlerCalls measures a computation of 16 uncontended
+// handler calls — the E2 overhead figure.
+func BenchmarkE2HandlerCalls(b *testing.B) {
+	for _, v := range bench.Variants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			w := bench.NewCallWorkload(v, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunComputation(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3Chain measures throughput of 3-stage chain computations with
+// CPU work, on disjoint and shared microprotocol sets, at 1 and 8 workers.
+func BenchmarkE3Chain(b *testing.B) {
+	for _, shared := range []bool{false, true} {
+		shape := "disjoint"
+		if shared {
+			shape = "shared"
+		}
+		for _, v := range bench.PaperVariants() {
+			if v.Name == "none" && shared {
+				continue
+			}
+			for _, g := range []int{1, 8} {
+				v, g := v, g
+				b.Run(fmt.Sprintf("%s/%s/g%d", shape, v.Name, g), func(b *testing.B) {
+					w := bench.NewScaleWorkload(v, g, shared, 50*time.Microsecond)
+					ops := b.N
+					if ops < g {
+						ops = g
+					}
+					b.ResetTimer()
+					if _, err := w.Run(g, ops); err != nil {
+						b.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkE4ABcast measures one atomic broadcast delivered at every site
+// of a 3-site group, per controller.
+func BenchmarkE4ABcast(b *testing.B) {
+	for _, v := range bench.PaperVariants() {
+		if v.Name == "none" {
+			continue
+		}
+		v := v
+		b.Run(v.Name+"/n3", func(b *testing.B) {
+			c := bench.NewCluster(v, 3, 77)
+			defer c.Stop()
+			b.ResetTimer()
+			if _, err := c.Broadcast(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkE5Pipeline measures a 16-item batch through the 3-stage
+// pipeline per iteration, per spec-precision ablation point.
+func BenchmarkE5Pipeline(b *testing.B) {
+	for _, cfg := range bench.PipelineConfigs(200 * time.Microsecond) {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			p := bench.NewPipeline(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6ViewRace measures one full §3 race orchestration under
+// VCAbasic (site setup + adversarial schedule + delivery).
+func BenchmarkE6ViewRace(b *testing.B) {
+	v, _ := bench.VariantByName("vca-basic")
+	for i := 0; i < b.N; i++ {
+		if res := bench.RunE6Race(v); !res.Delivered {
+			b.Fatal("isolating controller lost the message")
+		}
+	}
+}
+
+// BenchmarkE8Rollback measures 4 workers × b.N contended computations
+// (3 of 4 microprotocols each) per controller group — versioning vs
+// rollback/recovery.
+func BenchmarkE8Rollback(b *testing.B) {
+	for _, name := range []string{"serial", "vca-basic", "tso", "wait-die"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			v, ok := bench.VariantByName(name)
+			if !ok {
+				b.Fatal("unknown variant")
+			}
+			w := bench.NewRollbackWorkload(v.New(), 4, 20*time.Microsecond)
+			per := b.N/4 + 1
+			b.ResetTimer()
+			if _, err := w.Run(4, per, 3, 7); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkE9Transport measures b.N 256-byte messages through the full
+// (reliable, ordered, checksummed) ctp stack on a clean link.
+func BenchmarkE9Transport(b *testing.B) {
+	for _, shape := range bench.TransportShapes() {
+		if shape.Loss > 0 || shape.Corrupt > 0 || !shape.Reliable {
+			// Adversity runs are wall-clock noise, and unreliable
+			// compositions legitimately drop under b.N-sized bursts
+			// (inbox overflow, no repair); samoa-bench -exp e9 covers
+			// the full grid at controlled message counts.
+			continue
+		}
+		shape := shape
+		b.Run(shape.Name, func(b *testing.B) {
+			v, _ := bench.VariantByName("vca-basic")
+			tr, err := bench.NewTransport(v, shape, 31)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Stop()
+			b.ResetTimer()
+			if _, got, err := tr.Run(b.N, 256); err != nil || got < int64(b.N) {
+				b.Fatalf("got %d of %d (err %v)", got, b.N, err)
+			}
+		})
+	}
+}
+
+// BenchmarkE7ReadHeavy measures 8 workers × b.N read-only computations on
+// one shared microprotocol — the §7 isolation-level ablation.
+func BenchmarkE7ReadHeavy(b *testing.B) {
+	for _, name := range []string{"serial", "vca-basic", "tso", "vca-rw"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			v, ok := bench.VariantByName(name)
+			if !ok {
+				b.Fatal("unknown variant")
+			}
+			w := bench.NewRWWorkload(v.New(), 50*time.Microsecond)
+			per := b.N/8 + 1
+			b.ResetTimer()
+			if _, _, err := w.Run(8, per, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

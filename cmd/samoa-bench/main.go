@@ -1,0 +1,89 @@
+// Command samoa-bench runs the repository's evaluation — experiments
+// E1–E9 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	samoa-bench               # run everything at full parameters
+//	samoa-bench -quick        # reduced parameters (CI-sized)
+//	samoa-bench -exp e1,e5    # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameters")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(strings.ToLower(*exps), ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(id string) bool { return want["all"] || want[id] }
+
+	fmt.Printf("GO-SAMOA evaluation — GOMAXPROCS=%d, quick=%v\n\n", runtime.GOMAXPROCS(0), *quick)
+
+	type exp struct {
+		id  string
+		run func() *bench.Table
+	}
+	full := []exp{
+		{"e1", func() *bench.Table { return bench.E1Admissibility(pick(*quick, 100, 1000), 80*time.Microsecond) }},
+		{"e2", func() *bench.Table { return bench.E2Overhead(pick(*quick, 2000, 20000), 16) }},
+		{"e3", func() *bench.Table {
+			return bench.E3Scalability([]int{1, 2, 4, 8}, pick(*quick, 200, 1000), 200*time.Microsecond)
+		}},
+		{"e4", func() *bench.Table {
+			return bench.E4ABcast(pickSlice(*quick, []int{3}, []int{3, 5, 7}), pick(*quick, 30, 120))
+		}},
+		{"e5", func() *bench.Table { return bench.E5Ablation(pick(*quick, 24, 48), 2*time.Millisecond) }},
+		{"e6", func() *bench.Table { return bench.E6ViewRace(pick(*quick, 2, 10)) }},
+		{"e7", func() *bench.Table {
+			return bench.E7Extensions(8, pick(*quick, 40, 150), []float64{0.5, 0.9, 1.0}, 200*time.Microsecond)
+		}},
+		{"e8", func() *bench.Table {
+			return bench.E8Rollback(8, pick(*quick, 30, 100), 100*time.Microsecond)
+		}},
+		{"e9", func() *bench.Table {
+			return bench.E9Transport(pick(*quick, 50, 200), 256)
+		}},
+	}
+	ran := 0
+	for _, e := range full {
+		if !sel(e.id) {
+			continue
+		}
+		start := time.Now()
+		tab := e.run()
+		tab.Note("wall time: %v", time.Since(start).Round(time.Millisecond))
+		tab.Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e9 or all")
+		os.Exit(2)
+	}
+}
+
+func pick(quick bool, q, f int) int {
+	if quick {
+		return q
+	}
+	return f
+}
+
+func pickSlice(quick bool, q, f []int) []int {
+	if quick {
+		return q
+	}
+	return f
+}

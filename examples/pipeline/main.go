@@ -1,0 +1,116 @@
+// Command pipeline shows what the paper's optimised isolated variants buy
+// (§4–§5): a three-stage protocol pipeline — parse → process → emit —
+// where each computation visits each stage exactly once.
+//
+//   - Under Serial (Appia model) computations never overlap.
+//   - Under VCAbasic a computation holds every declared microprotocol
+//     until it completes, so the pipeline never has two computations in
+//     flight.
+//   - Under VCAbound, declaring the exact bound (one visit per stage)
+//     releases each stage as soon as the computation's visit completes —
+//     the stages run like a processor pipeline.
+//   - VCAroute achieves the same through the routing graph: once a
+//     handler is inactive and unreachable, its stage is released.
+//
+// The wall-clock ratios printed below are the paper's "more parallelism"
+// claim made measurable.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+const (
+	stageWork = 2 * time.Millisecond
+	nItems    = 24
+)
+
+type pipeline struct {
+	stack  *core.Stack
+	stages []*core.Microprotocol
+	hs     []*core.Handler
+	evs    []*core.EventType
+}
+
+func newPipeline(ctrl core.Controller) *pipeline {
+	p := &pipeline{stack: core.NewStack(ctrl)}
+	names := []string{"parse", "process", "emit"}
+	for i, name := range names {
+		i := i
+		mp := core.NewMicroprotocol(name)
+		// Stages hand off asynchronously: a stage's handler completes as
+		// soon as its own work is done, which is what lets VCAbound's
+		// rule 4 / VCAroute's rule 4(b) release the stage early. (A
+		// synchronous Trigger would nest the whole chain inside stage 0,
+		// holding it for the full duration — no pipelining possible.)
+		h := mp.AddHandler("run", func(ctx *core.Context, msg core.Message) error {
+			time.Sleep(stageWork) // simulated stage work (I/O, marshalling…)
+			if i+1 < len(names) {
+				return ctx.AsyncTrigger(p.evs[i+1], msg)
+			}
+			return nil
+		})
+		p.stages = append(p.stages, mp)
+		p.hs = append(p.hs, h)
+		p.evs = append(p.evs, core.NewEventType(name))
+	}
+	p.stack.Register(p.stages...)
+	for i := range p.evs {
+		p.stack.Bind(p.evs[i], p.hs[i])
+	}
+	return p
+}
+
+func (p *pipeline) spec(kind string) *core.Spec {
+	switch kind {
+	case "bound":
+		return core.AccessBound(map[*core.Microprotocol]int{
+			p.stages[0]: 1, p.stages[1]: 1, p.stages[2]: 1,
+		})
+	case "route":
+		g := core.NewRouteGraph().Root(p.hs[0]).
+			Edge(p.hs[0], p.hs[1]).Edge(p.hs[1], p.hs[2])
+		return core.Route(g)
+	default:
+		return core.Access(p.stages...)
+	}
+}
+
+func run(name, kind string, ctrl core.Controller) time.Duration {
+	p := newPipeline(ctrl)
+	spec := p.spec(kind)
+	start := time.Now()
+	done := make(chan error, nItems)
+	for i := 0; i < nItems; i++ {
+		go func() { done <- p.stack.External(spec, p.evs[0], "item") }()
+	}
+	for i := 0; i < nItems; i++ {
+		if err := <-done; err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start)
+}
+
+func main() {
+	ideal := time.Duration(nItems+2) * stageWork // fill + drain of a 3-stage pipe
+	serialT := run("serial", "basic", cc.NewSerial())
+	basicT := run("vca-basic", "basic", cc.NewVCABasic())
+	boundT := run("vca-bound", "bound", cc.NewVCABound())
+	routeT := run("vca-route", "route", cc.NewVCARoute())
+
+	fmt.Printf("pipeline: %d items × 3 stages × %v per stage\n\n", nItems, stageWork)
+	fmt.Printf("  %-28s %8v\n", "serial (Appia model)", serialT.Round(time.Millisecond))
+	fmt.Printf("  %-28s %8v\n", "isolated (VCAbasic)", basicT.Round(time.Millisecond))
+	fmt.Printf("  %-28s %8v   (exact bounds: 1 visit/stage)\n", "isolated bound (VCAbound)", boundT.Round(time.Millisecond))
+	fmt.Printf("  %-28s %8v   (routing graph: parse→process→emit)\n", "isolated route (VCAroute)", routeT.Round(time.Millisecond))
+	fmt.Printf("\n  perfectly pipelined lower bound ≈ %v\n", ideal.Round(time.Millisecond))
+	fmt.Printf("  speedup bound vs basic: %.1f×; route vs basic: %.1f×\n",
+		float64(basicT)/float64(boundT), float64(basicT)/float64(routeT))
+	fmt.Println("\nVCAbasic serializes computations that share microprotocols; the bound")
+	fmt.Println("and route variants release each stage early (paper §5.2, §5.3).")
+}

@@ -1,0 +1,106 @@
+// Package bench holds the workload generators and experiment runners
+// behind the repository's evaluation (experiments E1–E9 in DESIGN.md /
+// EXPERIMENTS.md). The same runners back the root-level testing.B
+// benchmarks and the cmd/samoa-bench harness that prints the paper-style
+// tables.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// Variant is a named controller configuration: the algorithm plus the
+// isolated-construct flavour its specs must use.
+type Variant struct {
+	Name string
+	New  func() core.Controller
+	Kind string // "basic" | "bound" | "route"
+}
+
+// Variants returns every controller variant in presentation order:
+// baselines first, then the paper's algorithms, then the §7 extensions.
+func Variants() []Variant {
+	return []Variant{
+		{"none", func() core.Controller { return cc.NewNone() }, "basic"},
+		{"serial", func() core.Controller { return cc.NewSerial() }, "basic"},
+		{"vca-basic", func() core.Controller { return cc.NewVCABasic() }, "basic"},
+		{"vca-bound", func() core.Controller { return cc.NewVCABound() }, "bound"},
+		{"vca-route", func() core.Controller { return cc.NewVCARoute() }, "route"},
+		{"vca-rw", func() core.Controller { return cc.NewVCARW() }, "basic"},
+		{"tso", func() core.Controller { return cc.NewTSO() }, "basic"},
+		{"wait-die", func() core.Controller { return cc.NewWaitDie() }, "basic"},
+	}
+}
+
+// Isolating returns the variants that enforce the isolation property.
+func Isolating() []Variant {
+	out := make([]Variant, 0, 7)
+	for _, v := range Variants() {
+		if v.Name != "none" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PaperVariants returns the baselines plus the three paper algorithms —
+// the set most experiments compare.
+func PaperVariants() []Variant {
+	out := make([]Variant, 0, 5)
+	for _, v := range Variants() {
+		switch v.Name {
+		case "none", "serial", "vca-basic", "vca-bound", "vca-route":
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// VariantByName finds a variant.
+func VariantByName(name string) (Variant, bool) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// Table is an experiment result rendered like the paper would report it.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  "+strings.Join(t.Header, "\t"))
+	fmt.Fprintln(tw, "  "+strings.Repeat("—", len(strings.Join(t.Header, "  "))))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, "  "+strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,69 @@
+package cc
+
+import "repro/internal/core"
+
+// Serial is the Appia baseline (paper §§1–2): computations never overlap.
+// Spawn blocks until the previous computation completes, so every run is
+// serial — trivially isolated, with no internal concurrency across
+// computations.
+type Serial struct {
+	sem chan struct{}
+}
+
+// NewSerial creates the serial (Appia-model) controller.
+func NewSerial() *Serial { return &Serial{sem: make(chan struct{}, 1)} }
+
+// Name implements core.Controller.
+func (c *Serial) Name() string { return "serial" }
+
+// Spawn blocks until the stack is quiescent, then admits the computation.
+func (c *Serial) Spawn(*core.Spec) (core.Token, error) {
+	c.sem <- struct{}{}
+	return nil, nil
+}
+
+// Request implements core.Controller (no per-call control).
+func (c *Serial) Request(core.Token, *core.Handler, *core.Handler) error { return nil }
+
+// Enter implements core.Controller (no per-call control).
+func (c *Serial) Enter(core.Token, *core.Handler, *core.Handler) error { return nil }
+
+// Exit implements core.Controller (no per-call control).
+func (c *Serial) Exit(core.Token, *core.Handler) {}
+
+// RootReturned implements core.Controller (no-op).
+func (c *Serial) RootReturned(core.Token) {}
+
+// Complete releases the stack for the next computation.
+func (c *Serial) Complete(core.Token) { <-c.sem }
+
+// None is the Cactus baseline (paper §§1–2): the runtime imposes no
+// synchronisation at all; any interleaving of computations may occur, and
+// the programmer is responsible for correctness. It does not enforce the
+// isolation property — package trace's checker demonstrates the resulting
+// violations in the tests and in experiment E1.
+type None struct{}
+
+// NewNone creates the unrestricted (Cactus-model) controller.
+func NewNone() *None { return &None{} }
+
+// Name implements core.Controller.
+func (c *None) Name() string { return "none" }
+
+// Spawn implements core.Controller (no control).
+func (c *None) Spawn(*core.Spec) (core.Token, error) { return nil, nil }
+
+// Request implements core.Controller (no control).
+func (c *None) Request(core.Token, *core.Handler, *core.Handler) error { return nil }
+
+// Enter implements core.Controller (no control).
+func (c *None) Enter(core.Token, *core.Handler, *core.Handler) error { return nil }
+
+// Exit implements core.Controller (no control).
+func (c *None) Exit(core.Token, *core.Handler) {}
+
+// RootReturned implements core.Controller (no-op).
+func (c *None) RootReturned(core.Token) {}
+
+// Complete implements core.Controller (no control).
+func (c *None) Complete(core.Token) {}

@@ -1,0 +1,55 @@
+package cc_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/cctest"
+	"repro/internal/core"
+)
+
+// TestConformance runs the shared controller-conformance battery
+// (package cctest) against every isolating controller. The deliberately
+// unsafe None baseline is excluded: it exists to violate the property
+// the battery checks.
+func TestConformance(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  cctest.Config
+	}{
+		{"serial", cctest.Config{
+			New:            func() core.Controller { return cc.NewSerial() },
+			Kind:           cctest.KindBasic,
+			SkipUndeclared: true, // Appia model: no spec validation
+		}},
+		{"vca-basic", cctest.Config{
+			New:  func() core.Controller { return cc.NewVCABasic() },
+			Kind: cctest.KindBasic,
+		}},
+		{"vca-bound", cctest.Config{
+			New:  func() core.Controller { return cc.NewVCABound() },
+			Kind: cctest.KindBound,
+		}},
+		{"vca-route", cctest.Config{
+			New:  func() core.Controller { return cc.NewVCARoute() },
+			Kind: cctest.KindRoute,
+		}},
+		{"vca-rw", cctest.Config{
+			New:  func() core.Controller { return cc.NewVCARW() },
+			Kind: cctest.KindBasic,
+		}},
+		{"tso", cctest.Config{
+			New:  func() core.Controller { return cc.NewTSO() },
+			Kind: cctest.KindBasic,
+		}},
+		{"wait-die", cctest.Config{
+			New:      func() core.Controller { return cc.NewWaitDie() },
+			Kind:     cctest.KindBasic,
+			Snapshot: true, // rollback scheduling needs snapshotters
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) { cctest.Run(t, tc.cfg) })
+	}
+}

@@ -1,0 +1,220 @@
+package cc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// treeNode is a branching computation script: visit mp, then trigger each
+// child (synchronously or asynchronously). Trees with async fan-out are
+// what distinguish computations ("possibly multi-threaded transactions")
+// from plain call chains.
+type treeNode struct {
+	mp       int
+	children []*treeNode
+	async    []bool // parallel to children
+}
+
+// randTree builds a random script tree over m microprotocols.
+func randTree(rng *rand.Rand, m, maxNodes int) *treeNode {
+	root := &treeNode{mp: rng.Intn(m)}
+	nodes := []*treeNode{root}
+	for len(nodes) < maxNodes && rng.Intn(4) != 0 {
+		parent := nodes[rng.Intn(len(nodes))]
+		child := &treeNode{mp: rng.Intn(m)}
+		parent.children = append(parent.children, child)
+		parent.async = append(parent.async, rng.Intn(2) == 0)
+		nodes = append(nodes, child)
+	}
+	return root
+}
+
+func (n *treeNode) countVisits(counts map[int]int) {
+	counts[n.mp]++
+	for _, c := range n.children {
+		c.countVisits(counts)
+	}
+}
+
+// treeProto hosts the tree workloads. Counters are atomic because a tree
+// may fan out asynchronously to the same microprotocol *within one
+// computation*, and the isolation property only orders computations
+// against each other — intra-computation thread consistency is the
+// programmer's responsibility (the paper's Fig. 1 *assumes* handlers R
+// and S are atomic). Isolation itself is asserted via the trace checker.
+type treeProto struct {
+	stack    *core.Stack
+	rec      *trace.Recorder
+	mps      []*core.Microprotocol
+	handlers []*core.Handler
+	events   []*core.EventType
+	counters []atomic.Int64
+}
+
+func newTreeProto(ctrl core.Controller, m int) *treeProto {
+	p := &treeProto{rec: trace.NewRecorder()}
+	p.stack = core.NewStack(ctrl, core.WithTracer(p.rec))
+	p.counters = make([]atomic.Int64, m)
+	for i := 0; i < m; i++ {
+		i := i
+		mp := core.NewMicroprotocol(fmt.Sprintf("t%d", i))
+		h := mp.AddHandler("visit", func(ctx *core.Context, msg core.Message) error {
+			node := msg.(*treeNode)
+			runtime.Gosched()
+			p.counters[i].Add(1)
+			for ci, child := range node.children {
+				ev := p.events[child.mp]
+				var err error
+				if node.async[ci] {
+					err = ctx.AsyncTrigger(ev, child)
+				} else {
+					err = ctx.Trigger(ev, child)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p.mps = append(p.mps, mp)
+		p.handlers = append(p.handlers, h)
+		p.events = append(p.events, core.NewEventType(fmt.Sprintf("te%d", i)))
+	}
+	p.stack.Register(p.mps...)
+	for i := range p.events {
+		p.stack.Bind(p.events[i], p.handlers[i])
+	}
+	return p
+}
+
+// specFor derives the spec of the given kind from the tree's structure.
+func (p *treeProto) specFor(kind string, root *treeNode) *core.Spec {
+	counts := map[int]int{}
+	root.countVisits(counts)
+	switch kind {
+	case "bound":
+		bounds := map[*core.Microprotocol]int{}
+		for i, n := range counts {
+			bounds[p.mps[i]] = n
+		}
+		return core.AccessBound(bounds)
+	case "route":
+		g := core.NewRouteGraph().Root(p.handlers[root.mp])
+		var walk func(n *treeNode)
+		walk = func(n *treeNode) {
+			for _, c := range n.children {
+				g.Edge(p.handlers[n.mp], p.handlers[c.mp])
+				walk(c)
+			}
+		}
+		walk(root)
+		return core.Route(g)
+	default:
+		var mps []*core.Microprotocol
+		for i := range counts {
+			mps = append(mps, p.mps[i])
+		}
+		return core.Access(mps...)
+	}
+}
+
+func (p *treeProto) run(kind string, root *treeNode) error {
+	return p.stack.External(p.specFor(kind, root), p.events[root.mp], root)
+}
+
+// runTreeWorkload launches the trees concurrently and verifies counters
+// and serializability.
+func runTreeWorkload(t *testing.T, ctrl core.Controller, kind string, m int, trees []*treeNode) {
+	t.Helper()
+	p := newTreeProto(ctrl, m)
+	var wg sync.WaitGroup
+	for _, tr := range trees {
+		wg.Add(1)
+		go func(tr *treeNode) {
+			defer wg.Done()
+			if err := p.run(kind, tr); err != nil {
+				t.Errorf("%s/%s: %v", ctrl.Name(), kind, err)
+			}
+		}(tr)
+	}
+	wg.Wait()
+	want := make([]int, m)
+	for _, tr := range trees {
+		counts := map[int]int{}
+		tr.countVisits(counts)
+		for i, n := range counts {
+			want[i] += n
+		}
+	}
+	for i := range want {
+		if got := p.counters[i].Load(); got != int64(want[i]) {
+			t.Errorf("%s/%s: counter[%d] = %d, want %d", ctrl.Name(), kind, i, got, want[i])
+		}
+	}
+	if rep := p.rec.Check(); !rep.Serializable {
+		t.Errorf("%s/%s: tree workload not serializable: %v", ctrl.Name(), kind, rep.Cycle)
+	}
+}
+
+// TestTreeWorkloadsAllControllers: randomized branching, async-fanning
+// computations stay isolated under every controller variant.
+func TestTreeWorkloadsAllControllers(t *testing.T) {
+	combos := []struct {
+		name string
+		mk   func() core.Controller
+		kind string
+	}{
+		{"serial", func() core.Controller { return cc.NewSerial() }, "basic"},
+		{"vca-basic", func() core.Controller { return cc.NewVCABasic() }, "basic"},
+		{"vca-bound", func() core.Controller { return cc.NewVCABound() }, "bound"},
+		{"vca-route", func() core.Controller { return cc.NewVCARoute() }, "route"},
+		{"tso", func() core.Controller { return cc.NewTSO() }, "basic"},
+	}
+	for _, combo := range combos {
+		combo := combo
+		t.Run(combo.name, func(t *testing.T) {
+			prop := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				m := 2 + rng.Intn(3)
+				trees := make([]*treeNode, 2+rng.Intn(6))
+				for i := range trees {
+					trees[i] = randTree(rng, m, 8)
+				}
+				runTreeWorkload(t, combo.mk(), combo.kind, m, trees)
+				return !t.Failed()
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTreeDeepAsyncFanout: a wide async fan-out from one handler — the
+// "multi-threaded computation" case — is admitted and isolated.
+func TestTreeDeepAsyncFanout(t *testing.T) {
+	root := &treeNode{mp: 0}
+	for i := 0; i < 12; i++ {
+		root.children = append(root.children, &treeNode{mp: 1 + i%2})
+		root.async = append(root.async, true)
+	}
+	for _, combo := range []struct {
+		mk   func() core.Controller
+		kind string
+	}{
+		{func() core.Controller { return cc.NewVCABasic() }, "basic"},
+		{func() core.Controller { return cc.NewVCABound() }, "bound"},
+		{func() core.Controller { return cc.NewVCARoute() }, "route"},
+	} {
+		runTreeWorkload(t, combo.mk(), combo.kind, 3, []*treeNode{root, root, root})
+	}
+}

@@ -1,0 +1,117 @@
+package cc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// TSO is a conservative timestamp-ordering scheduler — a representative of
+// the paper's "second group" of algorithms (timestamp ordering, §1) in its
+// no-rollback, "ultimate conservative" form (§6): instead of aborting
+// late operations, it refuses to start a computation until doing so cannot
+// require an abort.
+//
+// Each computation takes a timestamp at spawn. A computation is admitted
+// once (a) no admitted, still-running computation shares a declared
+// microprotocol with it, and (b) no waiting computation with a smaller
+// timestamp shares one — so conflicting computations run one at a time, in
+// timestamp order, while disjoint computations proceed freely.
+//
+// As the paper remarks, conservative timestamp ordering "produce[s] serial
+// executions" for conflicting workloads; experiment E7 confirms that shape
+// against the versioning algorithms.
+type TSO struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	nextTS uint64
+
+	admitted map[*tsoToken]bool
+	waiting  []*tsoToken // ascending timestamps
+}
+
+type tsoToken struct {
+	ts  uint64
+	mps map[*core.Microprotocol]bool
+}
+
+// NewTSO creates the conservative timestamp-ordering controller.
+func NewTSO() *TSO {
+	t := &TSO{admitted: make(map[*tsoToken]bool)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Name implements core.Controller.
+func (c *TSO) Name() string { return "tso" }
+
+func (a *tsoToken) conflicts(b *tsoToken) bool {
+	for mp := range a.mps {
+		if b.mps[mp] {
+			return true
+		}
+	}
+	return false
+}
+
+// Spawn blocks until the computation is admissible.
+func (c *TSO) Spawn(spec *core.Spec) (core.Token, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTS++
+	tok := &tsoToken{ts: c.nextTS, mps: make(map[*core.Microprotocol]bool, len(spec.MPs()))}
+	for _, mp := range spec.MPs() {
+		tok.mps[mp] = true
+	}
+	c.waiting = append(c.waiting, tok)
+	for !c.admissibleLocked(tok) {
+		c.cond.Wait()
+	}
+	for i, w := range c.waiting {
+		if w == tok {
+			c.waiting = append(c.waiting[:i], c.waiting[i+1:]...)
+			break
+		}
+	}
+	c.admitted[tok] = true
+	return tok, nil
+}
+
+func (c *TSO) admissibleLocked(tok *tsoToken) bool {
+	for adm := range c.admitted {
+		if tok.conflicts(adm) {
+			return false
+		}
+	}
+	for _, w := range c.waiting {
+		if w.ts < tok.ts && tok.conflicts(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Request validates the declared set.
+func (c *TSO) Request(t core.Token, _, h *core.Handler) error {
+	if !t.(*tsoToken).mps[h.MP()] {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	return nil
+}
+
+// Enter implements core.Controller; admission happened at Spawn.
+func (c *TSO) Enter(core.Token, *core.Handler, *core.Handler) error { return nil }
+
+// Exit implements core.Controller (no per-call bookkeeping).
+func (c *TSO) Exit(core.Token, *core.Handler) {}
+
+// RootReturned implements core.Controller (no-op).
+func (c *TSO) RootReturned(core.Token) {}
+
+// Complete releases the computation's claims and wakes waiters.
+func (c *TSO) Complete(t core.Token) {
+	c.mu.Lock()
+	delete(c.admitted, t.(*tsoToken))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,82 @@
+package cc
+
+import "repro/internal/core"
+
+// VCABasic is the Basic Version-Counting Algorithm of paper §5.1,
+// implementing the plain "isolated M e" construct.
+//
+// Rule 1: spawning a computation k atomically increments the global
+// version counter gv of every declared microprotocol and snapshots the
+// results as k's private versions pv.
+//
+// Rule 2: k may call a handler of microprotocol p only when
+// pv[p]−1 == lv[p], i.e. every earlier-spawned computation that declared p
+// has released it.
+//
+// Rule 3: when k completes, each declared p's local version is upgraded to
+// pv[p] — in spawn order, via the deferred-release queue.
+type VCABasic struct {
+	vt *versionTable
+}
+
+// NewVCABasic creates a controller enforcing the basic version-counting
+// algorithm. The controller holds per-stack state; do not share it.
+func NewVCABasic() *VCABasic { return &VCABasic{vt: newVersionTable()} }
+
+// Name implements core.Controller.
+func (c *VCABasic) Name() string { return "vca-basic" }
+
+type basicEntry struct {
+	st *mpState
+	pv uint64
+}
+
+type basicToken struct {
+	entries map[*core.Microprotocol]*basicEntry
+}
+
+// Spawn implements rule 1.
+func (c *VCABasic) Spawn(spec *core.Spec) (core.Token, error) {
+	t := &basicToken{entries: make(map[*core.Microprotocol]*basicEntry, len(spec.MPs()))}
+	c.vt.mu.Lock()
+	for _, mp := range spec.MPs() {
+		c.vt.gv[mp]++
+		t.entries[mp] = &basicEntry{st: c.vt.stateLocked(mp), pv: c.vt.gv[mp]}
+	}
+	c.vt.mu.Unlock()
+	return t, nil
+}
+
+// Request rejects calls to microprotocols outside the declared set M
+// (paper §4: an error is raised in the thread that issued the call).
+func (c *VCABasic) Request(t core.Token, _, h *core.Handler) error {
+	if t.(*basicToken).entries[h.MP()] == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	return nil
+}
+
+// Enter implements rule 2: block until the private version matches.
+func (c *VCABasic) Enter(t core.Token, _, h *core.Handler) error {
+	e := t.(*basicToken).entries[h.MP()]
+	if e == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	e.st.wait(func(lv uint64) bool { return lv+1 >= e.pv })
+	return nil
+}
+
+// Exit implements core.Controller; the basic algorithm releases nothing
+// before completion.
+func (c *VCABasic) Exit(core.Token, *core.Handler) {}
+
+// RootReturned implements core.Controller (no-op for VCABasic).
+func (c *VCABasic) RootReturned(core.Token) {}
+
+// Complete implements rule 3: upgrade every declared microprotocol's local
+// version to the private version, in spawn order.
+func (c *VCABasic) Complete(t core.Token) {
+	for _, e := range t.(*basicToken).entries {
+		e.st.request(e.pv-1, e.pv)
+	}
+}

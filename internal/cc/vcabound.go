@@ -1,0 +1,115 @@
+package cc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// VCABound is the Version-Counting with Least-Upper-Bound Algorithm of
+// paper §5.2, implementing "isolated bound M e".
+//
+// Rule 1: gv advances by bound[p], the declared least upper bound of
+// visits, and pv snapshots the result.
+//
+// Rule 2: a call is admitted while pv[p]−bound[p] ≤ lv[p] < pv[p]; a
+// computation that tries to exceed its own declared bound gets a
+// BoundExhaustedError in the thread that issued the call.
+//
+// Rule 4: every completed handler execution increments lv[p] by one, so a
+// computation that used up its bound on p hands p to its successor before
+// completing — the extra parallelism this algorithm buys.
+//
+// Rule 3: completion upgrades any lv[p] still below pv[p] (the computation
+// visited p fewer times than declared), never downgrading.
+type VCABound struct {
+	vt *versionTable
+}
+
+// NewVCABound creates a controller enforcing the least-upper-bound
+// version-counting algorithm. Specs must be built with core.AccessBound.
+func NewVCABound() *VCABound { return &VCABound{vt: newVersionTable()} }
+
+// Name implements core.Controller.
+func (c *VCABound) Name() string { return "vca-bound" }
+
+type boundEntry struct {
+	st        *mpState
+	pv        uint64
+	bound     uint64
+	requested uint64 // visits consumed so far; guarded by boundToken.mu
+}
+
+type boundToken struct {
+	mu      sync.Mutex
+	entries map[*core.Microprotocol]*boundEntry
+}
+
+// Spawn implements rule 1.
+func (c *VCABound) Spawn(spec *core.Spec) (core.Token, error) {
+	if !spec.HasBounds() {
+		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no visit bounds; build it with core.AccessBound"}
+	}
+	t := &boundToken{entries: make(map[*core.Microprotocol]*boundEntry, len(spec.MPs()))}
+	c.vt.mu.Lock()
+	defer c.vt.mu.Unlock()
+	for _, mp := range spec.MPs() {
+		b, _ := spec.Bound(mp)
+		if b <= 0 {
+			return nil, &core.SpecError{Controller: c.Name(), Reason: "non-positive bound for microprotocol " + mp.Name()}
+		}
+		c.vt.gv[mp] += uint64(b)
+		t.entries[mp] = &boundEntry{st: c.vt.stateLocked(mp), pv: c.vt.gv[mp], bound: uint64(b)}
+	}
+	return t, nil
+}
+
+// Request consumes one declared visit of h's microprotocol, failing when
+// the least upper bound is exhausted (paper §4: "A runtime error exception
+// will be thrown if the number is exhausted").
+func (c *VCABound) Request(t core.Token, _, h *core.Handler) error {
+	tok := t.(*boundToken)
+	e := tok.entries[h.MP()]
+	if e == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	tok.mu.Lock()
+	defer tok.mu.Unlock()
+	if e.requested >= e.bound {
+		return &core.BoundExhaustedError{MP: h.MP().Name(), Bound: int(e.bound)}
+	}
+	e.requested++
+	return nil
+}
+
+// Enter implements rule 2. Waiting for lv to reach the window's lower edge
+// suffices: lv < pv is invariant while the computation still holds
+// unconsumed budget, because lv only passes pv−1 through this
+// computation's own rule-4 increments or its rule-3 completion.
+func (c *VCABound) Enter(t core.Token, _, h *core.Handler) error {
+	e := t.(*boundToken).entries[h.MP()]
+	if e == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	e.st.wait(func(lv uint64) bool { return lv+e.bound >= e.pv })
+	return nil
+}
+
+// Exit implements rule 4: a completed handler execution bumps the local
+// version by one.
+func (c *VCABound) Exit(t core.Token, h *core.Handler) {
+	if e := t.(*boundToken).entries[h.MP()]; e != nil {
+		e.st.bump()
+	}
+}
+
+// RootReturned implements core.Controller (no-op for VCABound).
+func (c *VCABound) RootReturned(core.Token) {}
+
+// Complete implements rule 3.
+func (c *VCABound) Complete(t core.Token) {
+	tok := t.(*boundToken)
+	for _, e := range tok.entries {
+		e.st.request(e.pv-e.bound, e.pv)
+	}
+}

@@ -1,0 +1,243 @@
+package cc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// VCARoute is the Version-Counting with Routing Pattern Algorithm of paper
+// §5.3, implementing "isolated route M e".
+//
+// The spec's routing graph declares, per computation, which handlers may
+// be called and by whom (an edge h1→h2 means the body of h1 may call h2;
+// rule 2 admits a call when a route — a path — exists). Versioning works
+// as in VCAbasic (one version per microprotocol), but rule 4(b) releases a
+// microprotocol early: as soon as all its handlers are inactive and
+// unreachable from any active handler, its vertices leave the graph and
+// its local version is upgraded, letting the next computation in before
+// this one completes.
+//
+// Two details the paper leaves implicit are made concrete here:
+//
+//   - A handler requested asynchronously but not yet started counts as
+//     active for reachability, from the moment the event is issued;
+//     otherwise its microprotocol could be released out from under it.
+//   - Early upgrades go through the same version-ordered release queue as
+//     completions, so a release by computation k never overtakes an
+//     older computation still using the microprotocol.
+//
+// A virtual ROOT vertex (edges to the graph's declared roots) models
+// "handlers to be called directly by expression e"; it stays active until
+// the root expression returns.
+type VCARoute struct {
+	vt *versionTable
+}
+
+// NewVCARoute creates a controller enforcing the routing-pattern
+// version-counting algorithm. Specs must be built with core.Route.
+func NewVCARoute() *VCARoute { return &VCARoute{vt: newVersionTable()} }
+
+// Name implements core.Controller.
+func (c *VCARoute) Name() string { return "vca-route" }
+
+type routeEntry struct {
+	st       *mpState
+	pv       uint64
+	released bool
+	vertices []*core.Handler // graph vertices belonging to this microprotocol
+}
+
+type routeToken struct {
+	mu         sync.Mutex
+	graph      *core.RouteGraph
+	entries    map[*core.Microprotocol]*routeEntry
+	present    map[*core.Handler]bool // vertices still in the graph
+	counts     map[*core.Handler]int  // pending + active executions
+	rootActive bool
+}
+
+// Spawn implements rule 1 of VCAbasic over the graph's microprotocols.
+func (c *VCARoute) Spawn(spec *core.Spec) (core.Token, error) {
+	g := spec.Graph()
+	if g == nil {
+		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no routing graph; build it with core.Route"}
+	}
+	t := &routeToken{
+		graph:      g,
+		entries:    make(map[*core.Microprotocol]*routeEntry, len(spec.MPs())),
+		present:    make(map[*core.Handler]bool),
+		counts:     make(map[*core.Handler]int),
+		rootActive: true,
+	}
+	c.vt.mu.Lock()
+	for _, mp := range spec.MPs() {
+		c.vt.gv[mp]++
+		t.entries[mp] = &routeEntry{st: c.vt.stateLocked(mp), pv: c.vt.gv[mp]}
+	}
+	c.vt.mu.Unlock()
+	for _, h := range g.Vertices() {
+		t.present[h] = true
+		e := t.entries[h.MP()]
+		e.vertices = append(e.vertices, h)
+	}
+	return t, nil
+}
+
+// Request implements the admission part of rule 2: the call must follow a
+// declared route (or target a declared root when issued by the root
+// expression). An admitted call marks the handler as requested — it counts
+// as active for rule 4(b) from this moment.
+func (c *VCARoute) Request(t core.Token, caller, h *core.Handler) error {
+	tok := t.(*routeToken)
+	tok.mu.Lock()
+	defer tok.mu.Unlock()
+	if tok.entries[h.MP()] == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	if !tok.present[h] {
+		// The vertex was declared but already removed by rule 4(b); a
+		// call now would break the release the algorithm performed.
+		return &core.NoRouteError{From: nameOf(caller), To: h.String()}
+	}
+	if caller == nil {
+		if !tok.graph.IsRoot(h) {
+			return &core.NoRouteError{From: "", To: h.String()}
+		}
+	} else if !tok.routeExists(caller, h) {
+		return &core.NoRouteError{From: caller.String(), To: h.String()}
+	}
+	tok.counts[h]++
+	return nil
+}
+
+// routeExists reports whether a path from src to dst (length ≥ 1) exists
+// over the still-present vertices. Callers hold tok.mu.
+func (tok *routeToken) routeExists(src, dst *core.Handler) bool {
+	if !tok.present[src] {
+		return false
+	}
+	seen := map[*core.Handler]bool{}
+	queue := []*core.Handler{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, succ := range tok.graph.Succs(x) {
+			if !tok.present[succ] || seen[succ] {
+				continue
+			}
+			if succ == dst {
+				return true
+			}
+			seen[succ] = true
+			queue = append(queue, succ)
+		}
+	}
+	return false
+}
+
+// Enter implements the versioning part of rule 2 (condition (1) of
+// VCAbasic).
+func (c *VCARoute) Enter(t core.Token, _, h *core.Handler) error {
+	e := t.(*routeToken).entries[h.MP()]
+	if e == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	e.st.wait(func(lv uint64) bool { return lv+1 >= e.pv })
+	return nil
+}
+
+// Exit implements rule 4: the handler becomes inactive, and any
+// microprotocol left with only inactive, unreachable handlers is released.
+func (c *VCARoute) Exit(t core.Token, h *core.Handler) {
+	tok := t.(*routeToken)
+	tok.mu.Lock()
+	tok.counts[h]--
+	tok.scanReleaseLocked()
+	tok.mu.Unlock()
+}
+
+// RootReturned deactivates the virtual ROOT vertex: the root expression
+// will issue no more direct calls, so handlers reachable only from ROOT
+// become releasable.
+func (c *VCARoute) RootReturned(t core.Token) {
+	tok := t.(*routeToken)
+	tok.mu.Lock()
+	tok.rootActive = false
+	tok.scanReleaseLocked()
+	tok.mu.Unlock()
+}
+
+// Complete implements rule 3 (as in VCAbound): upgrade what rule 4(b)
+// could not release early — e.g. microprotocols kept reachable by cycles.
+func (c *VCARoute) Complete(t core.Token) {
+	tok := t.(*routeToken)
+	tok.mu.Lock()
+	for _, e := range tok.entries {
+		if !e.released {
+			e.released = true
+			e.st.request(e.pv-1, e.pv)
+		}
+	}
+	tok.mu.Unlock()
+}
+
+// scanReleaseLocked is rule 4(b): compute the set of handlers that are
+// active or reachable from an active handler (including the virtual ROOT)
+// over present vertices, then release every unreleased microprotocol none
+// of whose present vertices is in that set. Callers hold tok.mu.
+func (tok *routeToken) scanReleaseLocked() {
+	busy := map[*core.Handler]bool{}
+	var queue []*core.Handler
+	for h, n := range tok.counts {
+		if n > 0 && tok.present[h] && !busy[h] {
+			busy[h] = true
+			queue = append(queue, h)
+		}
+	}
+	if tok.rootActive {
+		for _, h := range tok.graph.Vertices() {
+			if tok.graph.IsRoot(h) && tok.present[h] && !busy[h] {
+				busy[h] = true
+				queue = append(queue, h)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, succ := range tok.graph.Succs(x) {
+			if tok.present[succ] && !busy[succ] {
+				busy[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+	for _, e := range tok.entries {
+		if e.released {
+			continue
+		}
+		inUse := false
+		for _, h := range e.vertices {
+			if tok.present[h] && busy[h] {
+				inUse = true
+				break
+			}
+		}
+		if inUse {
+			continue
+		}
+		for _, h := range e.vertices {
+			delete(tok.present, h)
+		}
+		e.released = true
+		e.st.request(e.pv-1, e.pv)
+	}
+}
+
+func nameOf(h *core.Handler) string {
+	if h == nil {
+		return ""
+	}
+	return h.String()
+}

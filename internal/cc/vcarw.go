@@ -1,0 +1,163 @@
+package cc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// VCARW implements the paper's §7 future-work extension: "introduce
+// different types of handlers (e.g. read-only, read-and-write) and several
+// levels of isolation". Handlers declared with core.ReadOnly() mark what a
+// computation's use of a microprotocol can be; a computation whose
+// declared handlers on a microprotocol are all read-only is admitted as a
+// *reader* of it.
+//
+// Versioning works as in VCAbasic, with one twist in rule 1: consecutive
+// reader spawns with no intervening writer share one version of the
+// microprotocol — they hold it concurrently, because read-only executions
+// commute, and the shared version keeps the equivalent serial order
+// well-defined (readers of a group may be serialized in any order among
+// themselves). The group's local-version upgrade happens when its last
+// member completes. Writers take fresh versions and serialize exactly as
+// in VCAbasic.
+//
+// A reader computation that calls a non-read-only handler gets a
+// ReadOnlyViolationError in the calling thread — the annotation is
+// enforced, not trusted.
+type VCARW struct {
+	vt *versionTable
+
+	mu sync.Mutex // guards rw (group bookkeeping); nests inside vt.mu ordering: always take vt.mu first or alone
+	rw map[*core.Microprotocol]*rwState
+}
+
+type rwState struct {
+	lastVer uint64
+	lastRO  bool
+	refs    map[uint64]int // open group / writer refcounts per version
+}
+
+// NewVCARW creates the read/write-aware versioning controller.
+func NewVCARW() *VCARW {
+	return &VCARW{vt: newVersionTable(), rw: make(map[*core.Microprotocol]*rwState)}
+}
+
+// Name implements core.Controller.
+func (c *VCARW) Name() string { return "vca-rw" }
+
+type rwEntry struct {
+	st     *mpState
+	pv     uint64
+	reader bool
+}
+
+type rwToken struct {
+	entries map[*core.Microprotocol]*rwEntry
+}
+
+// readerOf reports whether a computation with this spec can only read mp:
+// every handler of mp it may call is declared read-only. Route specs are
+// judged by their graph vertices, other specs by all of mp's handlers.
+func readerOf(spec *core.Spec, mp *core.Microprotocol) bool {
+	if g := spec.Graph(); g != nil {
+		any := false
+		for _, h := range g.Vertices() {
+			if h.MP() == mp {
+				any = true
+				if !h.IsReadOnly() {
+					return false
+				}
+			}
+		}
+		return any
+	}
+	hs := mp.Handlers()
+	if len(hs) == 0 {
+		return false
+	}
+	for _, h := range hs {
+		if !h.IsReadOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+// Spawn implements rule 1 with reader-group sharing.
+func (c *VCARW) Spawn(spec *core.Spec) (core.Token, error) {
+	t := &rwToken{entries: make(map[*core.Microprotocol]*rwEntry, len(spec.MPs()))}
+	c.vt.mu.Lock()
+	defer c.vt.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, mp := range spec.MPs() {
+		st := c.vt.stateLocked(mp)
+		ro := readerOf(spec, mp)
+		rw := c.rw[mp]
+		if rw == nil {
+			rw = &rwState{refs: make(map[uint64]int)}
+			c.rw[mp] = rw
+		}
+		var pv uint64
+		if ro && rw.lastRO && rw.refs[rw.lastVer] > 0 {
+			pv = rw.lastVer // join the open reader group
+			rw.refs[pv]++
+		} else {
+			c.vt.gv[mp]++
+			pv = c.vt.gv[mp]
+			rw.lastVer = pv
+			rw.lastRO = ro
+			rw.refs[pv] = 1
+		}
+		t.entries[mp] = &rwEntry{st: st, pv: pv, reader: ro}
+	}
+	return t, nil
+}
+
+// Request validates declaration and enforces the read-only annotation.
+func (c *VCARW) Request(t core.Token, _, h *core.Handler) error {
+	e := t.(*rwToken).entries[h.MP()]
+	if e == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	if e.reader && !h.IsReadOnly() {
+		return &core.ReadOnlyViolationError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	return nil
+}
+
+// Enter implements rule 2; every member of a reader group satisfies it
+// simultaneously, since they share the private version.
+func (c *VCARW) Enter(t core.Token, _, h *core.Handler) error {
+	e := t.(*rwToken).entries[h.MP()]
+	if e == nil {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	e.st.wait(func(lv uint64) bool { return lv+1 >= e.pv })
+	return nil
+}
+
+// Exit implements core.Controller (no early release in this variant).
+func (c *VCARW) Exit(core.Token, *core.Handler) {}
+
+// RootReturned implements core.Controller (no-op).
+func (c *VCARW) RootReturned(core.Token) {}
+
+// Complete implements rule 3; a reader group's upgrade fires when its last
+// member completes.
+func (c *VCARW) Complete(t core.Token) {
+	for mp, e := range t.(*rwToken).entries {
+		c.mu.Lock()
+		rw := c.rw[mp]
+		rw.refs[e.pv]--
+		last := rw.refs[e.pv] == 0
+		if last {
+			delete(rw.refs, e.pv)
+		}
+		c.mu.Unlock()
+		if last {
+			e.st.request(e.pv-1, e.pv)
+		}
+	}
+}

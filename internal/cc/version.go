@@ -1,0 +1,114 @@
+package cc
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// mpState is the per-microprotocol versioning state shared by the VCA*
+// controllers: the local version counter lv of the paper, a condition
+// variable for computations waiting to enter, and a queue of deferred
+// release requests.
+//
+// The paper's rules 3/4 read "wait until (1)/(2) is true, then upgrade the
+// local version". Parking a goroutine per pending upgrade would be
+// wasteful; instead a release request (minLv, target) is queued and
+// applied — in ascending order — whenever lv changes and reaches minLv.
+// Because minLv values derive from the atomically-ordered global counter
+// increments of rule 1, applications happen exactly in spawn order, which
+// is the correctness condition of the paper's proofs.
+type mpState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	lv      uint64
+	pending []release // sorted by minLv ascending
+}
+
+// release asks for lv to be raised to target once lv >= minLv. Targets
+// never lower lv (the algorithms' "never downgraded" guarantee).
+type release struct {
+	minLv  uint64
+	target uint64
+}
+
+func newMPState() *mpState {
+	st := &mpState{}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// wait blocks until pred holds for the local version.
+func (st *mpState) wait(pred func(lv uint64) bool) {
+	st.mu.Lock()
+	for !pred(st.lv) {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+}
+
+// bump increments lv by one (rule 4 of VCAbound: a handler execution
+// completed) and applies any releases that became due.
+func (st *mpState) bump() {
+	st.mu.Lock()
+	st.lv++
+	st.applyLocked()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// request queues (and immediately applies, if due) a release.
+func (st *mpState) request(minLv, target uint64) {
+	st.mu.Lock()
+	i := sort.Search(len(st.pending), func(i int) bool { return st.pending[i].minLv >= minLv })
+	st.pending = append(st.pending, release{})
+	copy(st.pending[i+1:], st.pending[i:])
+	st.pending[i] = release{minLv: minLv, target: target}
+	st.applyLocked()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+func (st *mpState) applyLocked() {
+	for len(st.pending) > 0 && st.lv >= st.pending[0].minLv {
+		if t := st.pending[0].target; t > st.lv {
+			st.lv = t
+		}
+		st.pending = st.pending[1:]
+	}
+}
+
+// localVersion reports lv (for tests and introspection).
+func (st *mpState) localVersion() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lv
+}
+
+// versionTable owns the global version counters gv and the mpState of
+// every microprotocol a controller has seen. Its mutex also serializes
+// spawns, making rule 1's multi-counter increment atomic and totally
+// ordering computations.
+type versionTable struct {
+	mu     sync.Mutex
+	gv     map[*core.Microprotocol]uint64
+	states map[*core.Microprotocol]*mpState
+}
+
+func newVersionTable() *versionTable {
+	return &versionTable{
+		gv:     make(map[*core.Microprotocol]uint64),
+		states: make(map[*core.Microprotocol]*mpState),
+	}
+}
+
+// stateLocked returns (creating if needed) mp's state. Callers hold vt.mu.
+func (vt *versionTable) stateLocked(mp *core.Microprotocol) *mpState {
+	st := vt.states[mp]
+	if st == nil {
+		st = newMPState()
+		vt.states[mp] = st
+	}
+	return st
+}

@@ -1,0 +1,147 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// White-box tests for the deferred-release version machinery shared by the
+// VCA* controllers.
+
+func TestMPStateBumpAndWait(t *testing.T) {
+	st := newMPState()
+	if st.localVersion() != 0 {
+		t.Fatal("initial lv must be 0")
+	}
+	st.bump()
+	st.bump()
+	if st.localVersion() != 2 {
+		t.Fatalf("lv = %d", st.localVersion())
+	}
+	// wait returns immediately once the predicate holds.
+	st.wait(func(lv uint64) bool { return lv >= 2 })
+}
+
+func TestMPStateReleaseImmediate(t *testing.T) {
+	st := newMPState()
+	st.request(0, 3) // lv(0) >= minLv(0): apply now
+	if got := st.localVersion(); got != 3 {
+		t.Fatalf("lv = %d, want 3", got)
+	}
+}
+
+func TestMPStateReleaseDeferredUntilDue(t *testing.T) {
+	st := newMPState()
+	st.request(2, 5) // not due: lv=0 < 2
+	if got := st.localVersion(); got != 0 {
+		t.Fatalf("lv = %d, want 0 (release deferred)", got)
+	}
+	st.bump() // lv=1
+	if got := st.localVersion(); got != 1 {
+		t.Fatalf("lv = %d, want 1", got)
+	}
+	st.bump() // lv=2: the pending release fires, lv jumps to 5
+	if got := st.localVersion(); got != 5 {
+		t.Fatalf("lv = %d, want 5", got)
+	}
+}
+
+func TestMPStateReleasesApplyInVersionOrder(t *testing.T) {
+	st := newMPState()
+	// Three computations completing out of spawn order: the queue must
+	// chain them 0→1→2→3 regardless of request order.
+	st.request(2, 3) // k3
+	st.request(1, 2) // k2
+	if st.localVersion() != 0 {
+		t.Fatal("nothing due yet")
+	}
+	st.request(0, 1) // k1: fires and cascades through k2 and k3
+	if got := st.localVersion(); got != 3 {
+		t.Fatalf("lv = %d, want 3 after cascade", got)
+	}
+}
+
+func TestMPStateNeverDowngrades(t *testing.T) {
+	st := newMPState()
+	st.request(0, 5)
+	st.request(0, 2) // stale target below current lv: must be dropped
+	if got := st.localVersion(); got != 5 {
+		t.Fatalf("lv = %d, want 5 (no downgrade)", got)
+	}
+}
+
+func TestMPStateWaitWakesOnRelease(t *testing.T) {
+	st := newMPState()
+	done := make(chan struct{})
+	go func() {
+		st.wait(func(lv uint64) bool { return lv >= 4 })
+		close(done)
+	}()
+	st.request(0, 4)
+	<-done
+}
+
+// TestMPStateCascadePropertyRandomOrder: any permutation of a chain of
+// releases k_i = (i, i+1) ends with lv == n.
+func TestMPStateCascadeProperty(t *testing.T) {
+	prop := func(perm []int) bool {
+		n := len(perm)
+		if n == 0 {
+			return true
+		}
+		// Build a permutation of 0..n-1 out of arbitrary ints.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i, v := range perm {
+			j := abs(v) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		st := newMPState()
+		for _, i := range order {
+			st.request(uint64(i), uint64(i+1))
+		}
+		return st.localVersion() == uint64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMPStateConcurrentBumpers(t *testing.T) {
+	st := newMPState()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				st.bump()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.localVersion(); got != 800 {
+		t.Fatalf("lv = %d, want 800", got)
+	}
+}
+
+func TestVersionTableLazyStates(t *testing.T) {
+	vt := newVersionTable()
+	vt.mu.Lock()
+	// Use distinct keys; nil microprotocol pointers suffice for identity
+	// — but create real ones to mirror usage.
+	defer vt.mu.Unlock()
+	if len(vt.states) != 0 {
+		t.Fatal("fresh table must be empty")
+	}
+}

@@ -1,0 +1,249 @@
+package cc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WaitDie is a representative of the paper's *second* algorithm group —
+// "timestamp-ordering algorithms with rollback/recovery" (§1), which the
+// paper mentions but does not describe. It schedules handler calls with
+// timestamp-ordered locking and undoes computations instead of delaying
+// them:
+//
+//   - Every computation takes a timestamp at its first spawn (kept across
+//     retries, so a repeatedly aborted computation eventually becomes the
+//     oldest and must win — no starvation).
+//   - The first handler call on a microprotocol locks it until the
+//     computation completes, taking a snapshot of its state (the
+//     microprotocol must provide a core.Snapshotter).
+//   - Conflicts resolve by the classic wait–die rule: an older computation
+//     waits for a younger lock holder; a younger one "dies" — it aborts
+//     with core.ErrComputationAborted, its snapshots are restored, its
+//     locks released, and Isolated re-executes it.
+//
+// Waits only ever point from older to younger computations, so the
+// wait-for graph is acyclic: no deadlocks. Locks are held to completion,
+// so no computation ever observes state that is later rolled back — no
+// dirty reads, no cascading aborts, and the committed execution is
+// conflict-serializable (equivalently: the isolation property holds for
+// the effects that survive).
+//
+// The price — and the reason the paper's own focus is the versioning
+// group, whose computations are "never aborted" — is that handlers must
+// tolerate re-execution: all their effects must live in snapshottable
+// microprotocol state. A handler that sends a network message cannot be
+// rolled back, so protocol stacks like internal/gc are out of scope for
+// this controller.
+type WaitDie struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	nextTS  uint64
+	locks   map[*core.Microprotocol]*wdToken
+	waiters map[*core.Microprotocol]map[*wdToken]bool
+	aborts  uint64
+}
+
+// NewWaitDie creates the wait–die rollback controller.
+func NewWaitDie() *WaitDie {
+	c := &WaitDie{
+		locks:   make(map[*core.Microprotocol]*wdToken),
+		waiters: make(map[*core.Microprotocol]map[*wdToken]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Name implements core.Controller.
+func (c *WaitDie) Name() string { return "wait-die" }
+
+// Aborts reports the total number of aborts so far (for the E8
+// experiment).
+func (c *WaitDie) Aborts() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborts
+}
+
+type wdToken struct {
+	ts      uint64
+	attempt int
+	mps     map[*core.Microprotocol]bool
+	held    map[*core.Microprotocol]bool // guarded by WaitDie.mu
+	snaps   map[*core.Microprotocol]any  // guarded by WaitDie.mu
+	aborted bool                         // guarded by WaitDie.mu
+}
+
+// Spawn validates that every declared microprotocol is snapshottable and
+// assigns the computation's timestamp.
+func (c *WaitDie) Spawn(spec *core.Spec) (core.Token, error) {
+	for _, mp := range spec.MPs() {
+		if mp.Snapshotter() == nil {
+			return nil, &core.SpecError{
+				Controller: c.Name(),
+				Reason:     "microprotocol " + mp.Name() + " has no Snapshotter; rollback scheduling needs one",
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTS++
+	t := &wdToken{
+		ts:    c.nextTS,
+		mps:   make(map[*core.Microprotocol]bool, len(spec.MPs())),
+		held:  make(map[*core.Microprotocol]bool),
+		snaps: make(map[*core.Microprotocol]any),
+	}
+	for _, mp := range spec.MPs() {
+		t.mps[mp] = true
+	}
+	return t, nil
+}
+
+// Request validates the declared set.
+func (c *WaitDie) Request(t core.Token, _, h *core.Handler) error {
+	tok := t.(*wdToken)
+	if !tok.mps[h.MP()] {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
+	return nil
+}
+
+// Enter acquires the microprotocol's lock under the wait–die rule,
+// snapshotting on first acquisition. Releases hand the lock directly to
+// the oldest waiter (see grantNextLocked), so a repeatedly dying young
+// computation cannot livelock an older one by re-grabbing the lock before
+// the waiter wakes.
+func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
+	tok := t.(*wdToken)
+	mp := h.MP()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		holder := c.locks[mp]
+		if holder == tok {
+			// Reentrant, or granted by a release while we waited. If a
+			// sibling thread aborted us in the meantime, pass the lock
+			// on rather than stranding it.
+			if tok.aborted {
+				delete(tok.held, mp)
+				c.grantNextLocked(mp)
+				return core.ErrComputationAborted
+			}
+			return nil
+		}
+		if tok.aborted {
+			c.dropWaiterLocked(mp, tok)
+			return core.ErrComputationAborted
+		}
+		switch {
+		case holder == nil:
+			c.dropWaiterLocked(mp, tok)
+			c.acquireLocked(mp, tok)
+			return nil
+		case tok.ts < holder.ts:
+			// Older waits for younger.
+			w := c.waiters[mp]
+			if w == nil {
+				w = make(map[*wdToken]bool)
+				c.waiters[mp] = w
+			}
+			w[tok] = true
+			c.cond.Wait()
+		default:
+			// Younger dies: roll back and retry with the same ts.
+			tok.aborted = true
+			c.aborts++
+			return core.ErrComputationAborted
+		}
+	}
+}
+
+// acquireLocked hands mp to tok, snapshotting on first touch. Callers
+// hold c.mu.
+func (c *WaitDie) acquireLocked(mp *core.Microprotocol, tok *wdToken) {
+	c.locks[mp] = tok
+	tok.held[mp] = true
+	if _, ok := tok.snaps[mp]; !ok {
+		tok.snaps[mp] = mp.Snapshotter().Snapshot()
+	}
+}
+
+func (c *WaitDie) dropWaiterLocked(mp *core.Microprotocol, tok *wdToken) {
+	if w := c.waiters[mp]; w != nil {
+		delete(w, tok)
+	}
+}
+
+// grantNextLocked frees mp and hands it to the oldest live waiter, if
+// any. Callers hold c.mu.
+func (c *WaitDie) grantNextLocked(mp *core.Microprotocol) {
+	delete(c.locks, mp)
+	var oldest *wdToken
+	for w := range c.waiters[mp] {
+		if !w.aborted && (oldest == nil || w.ts < oldest.ts) {
+			oldest = w
+		}
+	}
+	if oldest != nil {
+		delete(c.waiters[mp], oldest)
+		c.acquireLocked(mp, oldest)
+	}
+	c.cond.Broadcast()
+}
+
+// Exit implements core.Controller; locks are held to completion.
+func (c *WaitDie) Exit(core.Token, *core.Handler) {}
+
+// RootReturned implements core.Controller (no-op).
+func (c *WaitDie) RootReturned(core.Token) {}
+
+// Complete releases the computation's locks; its effects commit.
+func (c *WaitDie) Complete(t core.Token) {
+	tok := t.(*wdToken)
+	c.mu.Lock()
+	c.releaseLocked(tok)
+	c.mu.Unlock()
+}
+
+// PrepareRetry implements core.Restorer: restore every touched
+// microprotocol to its pre-first-touch snapshot (nobody else saw the
+// intermediate state — the lock was held throughout), release the locks,
+// and hand back a fresh attempt with the original timestamp. A growing
+// backoff keeps a tight retry loop from livelocking an older computation
+// that is slower to re-acquire the contested lock.
+func (c *WaitDie) PrepareRetry(t core.Token) (core.Token, bool) {
+	tok := t.(*wdToken)
+	c.mu.Lock()
+	for mp, snap := range tok.snaps {
+		mp.Snapshotter().Restore(snap)
+	}
+	c.releaseLocked(tok)
+	c.mu.Unlock()
+	backoff := time.Duration(tok.attempt+1) * 200 * time.Microsecond
+	if backoff > 10*time.Millisecond {
+		backoff = 10 * time.Millisecond
+	}
+	time.Sleep(backoff)
+	return &wdToken{
+		ts:      tok.ts,
+		attempt: tok.attempt + 1,
+		mps:     tok.mps,
+		held:    make(map[*core.Microprotocol]bool),
+		snaps:   make(map[*core.Microprotocol]any),
+	}, true
+}
+
+// releaseLocked drops tok's locks, handing each to its oldest waiter.
+// Callers hold c.mu.
+func (c *WaitDie) releaseLocked(tok *wdToken) {
+	for mp := range tok.held {
+		if c.locks[mp] == tok {
+			c.grantNextLocked(mp)
+		}
+	}
+	tok.held = make(map[*core.Microprotocol]bool)
+	c.cond.Broadcast()
+}

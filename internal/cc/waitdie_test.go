@@ -1,0 +1,264 @@
+package cc_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// intState is a snapshottable counter.
+type intState struct{ v int }
+
+func (s *intState) Snapshot() any    { return s.v }
+func (s *intState) Restore(snap any) { s.v = snap.(int) }
+
+// wdFixture: m snapshottable counter microprotocols; handler i increments
+// counter i and triggers the next script step.
+type wdFixture struct {
+	s      *core.Stack
+	rec    *trace.Recorder
+	ctrl   *cc.WaitDie
+	mps    []*core.Microprotocol
+	states []*intState
+	evs    []*core.EventType
+}
+
+func newWDFixture(m int) *wdFixture {
+	f := &wdFixture{ctrl: cc.NewWaitDie(), rec: trace.NewRecorder()}
+	f.s = core.NewStack(f.ctrl, core.WithTracer(f.rec))
+	for i := 0; i < m; i++ {
+		st := &intState{}
+		mp := core.NewMicroprotocol(fmt.Sprintf("mp%d", i))
+		mp.SetSnapshotter(st)
+		ev := core.NewEventType(fmt.Sprintf("e%d", i))
+		h := mp.AddHandler("inc", func(ctx *core.Context, msg core.Message) error {
+			st.v++
+			if s, ok := msg.(*visitScript); ok && s.pos+1 < len(s.seq) {
+				return ctx.Trigger(f.evs[s.seq[s.pos+1]], &visitScript{seq: s.seq, pos: s.pos + 1})
+			}
+			return nil
+		})
+		f.mps = append(f.mps, mp)
+		f.states = append(f.states, st)
+		f.evs = append(f.evs, ev)
+		f.s.Register(mp)
+		f.s.Bind(ev, h)
+	}
+	return f
+}
+
+func (f *wdFixture) spec(seq []int) *core.Spec {
+	var mps []*core.Microprotocol
+	for _, i := range seq {
+		mps = append(mps, f.mps[i])
+	}
+	return core.Access(mps...)
+}
+
+func TestWaitDieName(t *testing.T) {
+	if cc.NewWaitDie().Name() != "wait-die" {
+		t.Fatal("name")
+	}
+}
+
+func TestWaitDieRequiresSnapshotter(t *testing.T) {
+	s := core.NewStack(cc.NewWaitDie())
+	p := core.NewMicroprotocol("p") // no snapshotter
+	p.AddHandler("h", nop)
+	s.Register(p)
+	err := s.Isolated(core.Access(p), nil)
+	var se *core.SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitDieSequential(t *testing.T) {
+	f := newWDFixture(2)
+	for i := 0; i < 5; i++ {
+		if err := f.s.External(f.spec([]int{0, 1}), f.evs[0], &visitScript{seq: []int{0, 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.states[0].v != 5 || f.states[1].v != 5 {
+		t.Fatalf("counters = %d, %d", f.states[0].v, f.states[1].v)
+	}
+	if f.ctrl.Aborts() != 0 {
+		t.Fatalf("sequential run aborted %d times", f.ctrl.Aborts())
+	}
+}
+
+func TestWaitDieUndeclared(t *testing.T) {
+	f := newWDFixture(2)
+	err := f.s.External(f.spec([]int{0}), f.evs[1], &visitScript{seq: []int{1}})
+	var ue *core.UndeclaredError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestWaitDieAbortAndRetry orchestrates the classic crossed lock order:
+// the older computation A holds mp0 and wants mp1; the younger B holds
+// mp1 and wants mp0 — B dies, its increment of mp1 is rolled back, it
+// retries and succeeds. Final counters prove exactly-once effects.
+func TestWaitDieAbortAndRetry(t *testing.T) {
+	ctrl := cc.NewWaitDie()
+	s := core.NewStack(ctrl)
+	st0, st1 := &intState{}, &intState{}
+	mp0 := core.NewMicroprotocol("mp0")
+	mp0.SetSnapshotter(st0)
+	mp1 := core.NewMicroprotocol("mp1")
+	mp1.SetSnapshotter(st1)
+	e0, e1 := core.NewEventType("e0"), core.NewEventType("e1")
+	h0 := mp0.AddHandler("inc", func(*core.Context, core.Message) error { st0.v++; return nil })
+	h1 := mp1.AddHandler("inc", func(*core.Context, core.Message) error { st1.v++; return nil })
+	s.Register(mp0, mp1)
+	s.Bind(e0, h0)
+	s.Bind(e1, h1)
+	spec := core.Access(mp0, mp1)
+
+	bHolds1 := make(chan struct{}, 1)
+	aHolds0 := make(chan struct{})
+	aDone := make(chan error, 1)
+	bDone := make(chan error, 1)
+	go func() {
+		aDone <- s.Isolated(spec, func(ctx *core.Context) error {
+			if err := ctx.Trigger(e0, nil); err != nil {
+				return err
+			}
+			close(aHolds0)
+			<-bHolds1 // make sure B holds mp1 before A asks for it
+			return ctx.Trigger(e1, nil)
+		})
+	}()
+	<-aHolds0
+	go func() {
+		bDone <- s.Isolated(spec, func(ctx *core.Context) error {
+			if err := ctx.Trigger(e1, nil); err != nil { // acquires mp1
+				return err
+			}
+			select { // non-blocking: retries must not hang on a full buffer
+			case bHolds1 <- struct{}{}:
+			default:
+			}
+			return ctx.Trigger(e0, nil) // A (older) holds mp0 → B dies
+		})
+	}()
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-bDone; err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Aborts() < 1 {
+		t.Fatal("expected at least one abort")
+	}
+	if st0.v != 2 || st1.v != 2 {
+		t.Fatalf("counters = %d, %d — rollback failed (want 2, 2)", st0.v, st1.v)
+	}
+}
+
+// TestWaitDieContentionProperty: random crossed-order workloads finish
+// with exact counters and a serializable committed trace, despite aborts.
+func TestWaitDieContentionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		f := newWDFixture(m)
+		scripts := make([][]int, 4+rng.Intn(8))
+		want := make([]int, m)
+		for i := range scripts {
+			perm := rng.Perm(m)[:1+rng.Intn(m)]
+			scripts[i] = perm
+			for _, j := range perm {
+				want[j]++
+			}
+		}
+		var wg sync.WaitGroup
+		for _, seq := range scripts {
+			wg.Add(1)
+			go func(seq []int) {
+				defer wg.Done()
+				if err := f.s.External(f.spec(seq), f.evs[seq[0]], &visitScript{seq: seq}); err != nil {
+					t.Error(err)
+				}
+			}(seq)
+		}
+		wg.Wait()
+		for i, w := range want {
+			if f.states[i].v != w {
+				t.Errorf("seed %d: counter[%d] = %d, want %d (aborts=%d)", seed, i, f.states[i].v, w, f.ctrl.Aborts())
+			}
+		}
+		rep := f.rec.Check()
+		if !rep.Serializable {
+			t.Errorf("seed %d: committed trace not serializable (cycle %v)", seed, rep.Cycle)
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitDieTraceMarksAborts: rolled-back attempts appear as Aborted in
+// the trace and are excluded from the isolation analysis.
+func TestWaitDieTraceMarksAborts(t *testing.T) {
+	f := newWDFixture(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		seq := []int{i % 3, (i + 1) % 3, (i + 2) % 3} // rotated orders: plenty of conflicts
+		wg.Add(1)
+		go func(seq []int) {
+			defer wg.Done()
+			if err := f.s.External(f.spec(seq), f.evs[seq[0]], &visitScript{seq: seq}); err != nil {
+				t.Error(err)
+			}
+		}(seq)
+	}
+	wg.Wait()
+	rep := f.rec.Check()
+	if !rep.Serializable {
+		t.Fatalf("committed trace not serializable: %v", rep.Cycle)
+	}
+	if uint64(rep.Aborted) != f.ctrl.Aborts() {
+		t.Fatalf("trace aborts = %d, controller aborts = %d", rep.Aborted, f.ctrl.Aborts())
+	}
+	if f.states[0].v != 12 || f.states[1].v != 12 || f.states[2].v != 12 {
+		t.Fatalf("counters = %v", []int{f.states[0].v, f.states[1].v, f.states[2].v})
+	}
+}
+
+// TestWaitDieDisjointNoAborts: disjoint computations never conflict, so
+// they run concurrently with zero aborts.
+func TestWaitDieDisjointNoAborts(t *testing.T) {
+	f := newWDFixture(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := f.s.External(f.spec([]int{w}), f.evs[w], &visitScript{seq: []int{w}}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.ctrl.Aborts() != 0 {
+		t.Fatalf("disjoint workload aborted %d times", f.ctrl.Aborts())
+	}
+	for i := 0; i < 4; i++ {
+		if f.states[i].v != 20 {
+			t.Fatalf("counter[%d] = %d", i, f.states[i].v)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package cctest is a conformance suite for concurrency controllers: any
+// core.Controller implementation claiming the isolation property can be
+// validated against the same battery the built-in algorithms pass. A
+// controller author runs:
+//
+//	func TestMyControllerConformance(t *testing.T) {
+//	    cctest.Run(t, cctest.Config{
+//	        New:  func() core.Controller { return NewMyController() },
+//	        Kind: cctest.KindBasic, // which Spec flavour it consumes
+//	    })
+//	}
+//
+// The battery checks, over randomized workloads (chains and async trees):
+//
+//   - Safety: every recorded execution is conflict-serializable (the
+//     isolation property, via the trace checker), with no lost updates on
+//     deliberately unsynchronized microprotocol state.
+//   - Liveness: every computation completes (the suite itself would hang
+//     or time out on a deadlock; waits only ever resolve because
+//     controllers must be deadlock-free).
+//   - Spec enforcement: calls to undeclared microprotocols fail with
+//     UndeclaredError in the calling thread.
+//   - Lifecycle balance: one Complete (or retry chain) per Spawn.
+package cctest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Kind selects which Spec flavour the controller consumes.
+type Kind int
+
+// Spec flavours.
+const (
+	KindBasic Kind = iota // core.Access
+	KindBound             // core.AccessBound
+	KindRoute             // core.Route
+)
+
+// Config parameterizes a conformance run.
+type Config struct {
+	// New creates a fresh controller (one per stack; never reused).
+	New func() core.Controller
+	// Kind is the Spec flavour to build for it.
+	Kind Kind
+	// Seeds is the number of randomized workloads (default 12).
+	Seeds int
+	// SkipUndeclared skips the spec-enforcement check, for controllers
+	// that deliberately do not validate M (e.g. the baselines).
+	SkipUndeclared bool
+	// Snapshot, when true, attaches snapshotters to every microprotocol
+	// (required by rollback controllers).
+	Snapshot bool
+}
+
+// Run executes the battery.
+func Run(t *testing.T, cfg Config) {
+	t.Helper()
+	if cfg.New == nil {
+		t.Fatal("cctest: Config.New required")
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 12
+	}
+	t.Run("isolation-and-liveness", func(t *testing.T) {
+		for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
+			runWorkload(t, cfg, seed)
+		}
+	})
+	if !cfg.SkipUndeclared {
+		t.Run("undeclared-rejected", func(t *testing.T) {
+			runUndeclared(t, cfg)
+		})
+	}
+}
+
+// fixture is a protocol of m counter microprotocols whose handlers chain
+// through a script; counters are atomic only where intra-computation
+// concurrency demands it — cross-computation safety must come from the
+// controller.
+type fixture struct {
+	stack    *core.Stack
+	rec      *trace.Recorder
+	mps      []*core.Microprotocol
+	events   []*core.EventType
+	handlers []*core.Handler
+	counters []int
+	snaps    []*snapState
+}
+
+type snapState struct{ v int }
+
+func (s *snapState) Snapshot() any    { return s.v }
+func (s *snapState) Restore(snap any) { s.v = snap.(int) }
+
+type script struct {
+	seq []int
+	pos int
+}
+
+func newFixture(cfg Config, m int) *fixture {
+	f := &fixture{rec: trace.NewRecorder()}
+	f.stack = core.NewStack(cfg.New(), core.WithTracer(f.rec))
+	f.counters = make([]int, m)
+	f.snaps = make([]*snapState, m)
+	for i := 0; i < m; i++ {
+		i := i
+		mp := core.NewMicroprotocol(fmt.Sprintf("cmp%d", i))
+		if cfg.Snapshot {
+			st := &snapState{}
+			f.snaps[i] = st
+			mp.SetSnapshotter(st)
+		}
+		h := mp.AddHandler("visit", func(ctx *core.Context, msg core.Message) error {
+			s := msg.(*script)
+			if f.snaps[i] != nil {
+				f.snaps[i].v++
+			} else {
+				v := f.counters[i]
+				runtime.Gosched()
+				f.counters[i] = v + 1
+			}
+			if s.pos+1 < len(s.seq) {
+				return ctx.Trigger(f.events[s.seq[s.pos+1]], &script{seq: s.seq, pos: s.pos + 1})
+			}
+			return nil
+		})
+		f.mps = append(f.mps, mp)
+		f.handlers = append(f.handlers, h)
+		f.events = append(f.events, core.NewEventType(fmt.Sprintf("cev%d", i)))
+	}
+	f.stack.Register(f.mps...)
+	for i := range f.events {
+		f.stack.Bind(f.events[i], f.handlers[i])
+	}
+	return f
+}
+
+func (f *fixture) spec(kind Kind, seq []int) *core.Spec {
+	switch kind {
+	case KindBound:
+		bounds := map[*core.Microprotocol]int{}
+		for _, i := range seq {
+			bounds[f.mps[i]]++
+		}
+		return core.AccessBound(bounds)
+	case KindRoute:
+		g := core.NewRouteGraph().Root(f.handlers[seq[0]])
+		for i := 0; i+1 < len(seq); i++ {
+			g.Edge(f.handlers[seq[i]], f.handlers[seq[i+1]])
+		}
+		return core.Route(g)
+	default:
+		var mps []*core.Microprotocol
+		for _, i := range seq {
+			mps = append(mps, f.mps[i])
+		}
+		return core.Access(mps...)
+	}
+}
+
+func (f *fixture) count(i int) int {
+	if f.snaps[i] != nil {
+		return f.snaps[i].v
+	}
+	return f.counters[i]
+}
+
+func runWorkload(t *testing.T, cfg Config, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := 2 + rng.Intn(3)
+	f := newFixture(cfg, m)
+	n := 3 + rng.Intn(8)
+	scripts := make([][]int, n)
+	want := make([]int, m)
+	for i := range scripts {
+		l := 1 + rng.Intn(5)
+		seq := make([]int, l)
+		for j := range seq {
+			seq[j] = rng.Intn(m)
+		}
+		scripts[i] = seq
+		for _, x := range seq {
+			want[x]++
+		}
+	}
+	var wg sync.WaitGroup
+	for _, seq := range scripts {
+		wg.Add(1)
+		go func(seq []int) {
+			defer wg.Done()
+			if err := f.stack.External(f.spec(cfg.Kind, seq), f.events[seq[0]], &script{seq: seq}); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}(seq)
+	}
+	wg.Wait()
+	for i, w := range want {
+		if got := f.count(i); got != w {
+			t.Errorf("seed %d: lost update on mp%d: %d != %d", seed, i, got, w)
+		}
+	}
+	rep := f.rec.Check()
+	if !rep.Serializable {
+		t.Errorf("seed %d: execution violates the isolation property (cycle %v)", seed, rep.Cycle)
+	}
+	st := f.rec.Stats()
+	if st.Spawned != st.Completed+st.Aborted {
+		t.Errorf("seed %d: lifecycle imbalance: %d spawned, %d completed, %d aborted",
+			seed, st.Spawned, st.Completed, st.Aborted)
+	}
+}
+
+func runUndeclared(t *testing.T, cfg Config) {
+	t.Helper()
+	f := newFixture(cfg, 2)
+	err := f.stack.External(f.spec(cfg.Kind, []int{0}), f.events[1], &script{seq: []int{1}})
+	var ue *core.UndeclaredError
+	var nr *core.NoRouteError
+	if !errors.As(err, &ue) && !errors.As(err, &nr) {
+		t.Errorf("undeclared call returned %v, want UndeclaredError or NoRouteError", err)
+	}
+}

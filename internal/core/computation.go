@@ -1,0 +1,56 @@
+package core
+
+import "sync"
+
+// Computation is the run-time identity of one execution of Isolated: the
+// paper's computation, i.e. an external event together with everything
+// causally dependent on it (§2). The framework tracks its threads so that
+// "all threads of the computation terminated" — the trigger point for the
+// controllers' completion rules — is well defined.
+type Computation struct {
+	id    uint64
+	stack *Stack
+	token Token
+	spec  *Spec
+
+	// wg counts asynchronous handler executions; forks are counted by
+	// their spawning invocation instead, because a handler's Exit must
+	// wait for the threads the handler itself spawned (rule 4 of
+	// VCAbound counts a handler as completed only then).
+	wg sync.WaitGroup
+
+	mu  sync.Mutex
+	err error // first error recorded
+}
+
+// ID reports the computation's stack-unique identifier.
+func (c *Computation) ID() uint64 { return c.id }
+
+// Spec reports the spec the computation was spawned with.
+func (c *Computation) Spec() *Spec { return c.spec }
+
+// record stores the first non-nil error of the computation.
+func (c *Computation) record(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *Computation) firstErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// invocation is one execution of a handler (or of the root expression,
+// with handler == nil). Forked threads attach here so the invocation can
+// be considered complete only after they terminate.
+type invocation struct {
+	handler *Handler
+	forks   sync.WaitGroup
+}

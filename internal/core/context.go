@@ -1,0 +1,152 @@
+package core
+
+import "errors"
+
+// Context is passed to every handler execution and to the computation's
+// root expression. It issues events and forks computation threads. A
+// Context is only valid for the duration of the invocation it was passed
+// to; handlers must not retain it.
+type Context struct {
+	comp *Computation
+	inv  *invocation
+}
+
+// Computation returns the computation this context executes in.
+func (c *Context) Computation() *Computation { return c.comp }
+
+// Stack returns the stack this context executes on.
+func (c *Context) Stack() *Stack { return c.comp.stack }
+
+// Handler returns the handler this context was passed to, or nil in the
+// computation's root expression.
+func (c *Context) Handler() *Handler { return c.inv.handler }
+
+// Trigger synchronously executes the single handler bound to et — the
+// paper's "trigger" construct. It returns an UnboundError or
+// AmbiguousError if not exactly one handler is bound, a controller error
+// if the call violates the computation's spec, or the handler's own error.
+func (c *Context) Trigger(et *EventType, msg Message) error {
+	h, err := c.single(et)
+	if err != nil {
+		c.comp.record(err)
+		return err
+	}
+	return c.comp.stack.callSync(c.comp, c.inv, et, h, msg)
+}
+
+// TriggerAll synchronously executes every handler bound to et, in bind
+// order — the paper's "triggerAll". All bound handlers run even if an
+// earlier one fails; the joined errors are returned.
+func (c *Context) TriggerAll(et *EventType, msg Message) error {
+	hs := c.comp.stack.Bound(et)
+	var errs []error
+	for _, h := range hs {
+		if err := c.comp.stack.callSync(c.comp, c.inv, et, h, msg); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AsyncTrigger requests asynchronous execution of the single handler bound
+// to et. Spec violations detectable at request time are returned in the
+// calling thread; errors from the handler itself are recorded on the
+// computation and surface from Isolated.
+func (c *Context) AsyncTrigger(et *EventType, msg Message) error {
+	h, err := c.single(et)
+	if err != nil {
+		c.comp.record(err)
+		return err
+	}
+	return c.comp.stack.callAsync(c.comp, c.inv, et, h, msg)
+}
+
+// AsyncTriggerAll requests asynchronous execution of every handler bound
+// to et — the paper's "asyncTriggerAll". Each handler runs in its own
+// computation thread.
+func (c *Context) AsyncTriggerAll(et *EventType, msg Message) error {
+	hs := c.comp.stack.Bound(et)
+	var errs []error
+	for _, h := range hs {
+		if err := c.comp.stack.callAsync(c.comp, c.inv, et, h, msg); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Fork runs fn in a new thread of the same computation. The current
+// invocation is not considered complete until fn returns, so a handler's
+// forked threads delay its Exit (rule 4 of VCAbound counts a handler
+// execution as completed only when "any threads spawned by the handler
+// terminated"). fn's error is recorded on the computation.
+func (c *Context) Fork(fn func(ctx *Context) error) {
+	c.inv.forks.Add(1)
+	go func() {
+		defer c.inv.forks.Done()
+		c.comp.record(fn(&Context{comp: c.comp, inv: c.inv}))
+	}()
+}
+
+func (c *Context) single(et *EventType) (*Handler, error) {
+	hs := c.comp.stack.Bound(et)
+	switch len(hs) {
+	case 0:
+		return nil, &UnboundError{Event: et.Name()}
+	case 1:
+		return hs[0], nil
+	default:
+		return nil, &AmbiguousError{Event: et.Name(), N: len(hs)}
+	}
+}
+
+// callSync executes one handler call synchronously in the current thread.
+func (s *Stack) callSync(comp *Computation, caller *invocation, et *EventType, h *Handler, msg Message) error {
+	callerH := caller.handler
+	if err := s.ctrl.Request(comp.token, callerH, h); err != nil {
+		comp.record(err)
+		return err
+	}
+	if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
+		comp.record(err)
+		return err
+	}
+	return s.runHandler(comp, et, h, msg)
+}
+
+// callAsync validates the call in the current thread (so spec violations
+// surface where the trigger was issued, per paper §4) and executes the
+// handler in a new computation thread.
+func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, h *Handler, msg Message) error {
+	callerH := caller.handler
+	if err := s.ctrl.Request(comp.token, callerH, h); err != nil {
+		comp.record(err)
+		return err
+	}
+	comp.wg.Add(1)
+	go func() {
+		defer comp.wg.Done()
+		if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
+			comp.record(err)
+			return
+		}
+		_ = s.runHandler(comp, et, h, msg)
+	}()
+	return nil
+}
+
+// runHandler runs one admitted handler execution: trace start, run the
+// body, wait for the handler's forks, trace end, release via Exit.
+func (s *Stack) runHandler(comp *Computation, et *EventType, h *Handler, msg Message) error {
+	inv := &invocation{handler: h}
+	invID := s.invSeq.Add(1)
+	s.tracer.HandlerStart(comp.id, invID, et, h)
+	err := h.fn(&Context{comp: comp, inv: inv}, msg)
+	inv.forks.Wait()
+	s.tracer.HandlerEnd(comp.id, invID, h)
+	s.ctrl.Exit(comp.token, h)
+	if err != nil {
+		comp.record(err)
+	}
+	return err
+}

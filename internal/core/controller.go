@@ -1,0 +1,69 @@
+package core
+
+// Token is the controller's per-computation state, created by Spawn and
+// threaded through every subsequent controller call for that computation.
+type Token any
+
+// Controller is a concurrency-control algorithm deciding when computations
+// may call handlers so that every execution of the stack satisfies the
+// isolation property (paper §5). Implementations live in package cc.
+//
+// Call protocol, per computation:
+//
+//	t, err := Spawn(spec)            // once, atomic w.r.t. other spawns
+//	for every handler call:
+//	    Request(t, caller, h)        // in the thread issuing the trigger
+//	    Enter(t, caller, h)          // may block; in the executing thread
+//	    ... handler runs ...
+//	    Exit(t, h)                   // after the handler and its forks end
+//	RootReturned(t)                  // after the root expression returns
+//	Complete(t)                      // after all computation threads end
+//
+// Request runs in the thread that issues the trigger — before any
+// goroutine handoff for asynchronous triggers — so spec violations surface
+// in the calling thread, as the paper prescribes for the isolated
+// constructs. Enter blocks until the call is admissible. Controllers must
+// be deadlock-free for any set of well-formed computations.
+type Controller interface {
+	// Name identifies the algorithm (for traces and benchmarks).
+	Name() string
+
+	// Spawn atomically registers a new computation with its declared
+	// spec and returns its token. Spawns are totally ordered; the order
+	// fixes the equivalent serial order of the computations.
+	Spawn(spec *Spec) (Token, error)
+
+	// Request validates (and, for routing controllers, reserves) a call
+	// of h issued by caller; caller is nil when the computation's root
+	// expression issues the call.
+	Request(t Token, caller, h *Handler) error
+
+	// Enter blocks until the computation may execute h.
+	Enter(t Token, caller, h *Handler) error
+
+	// Exit records that an execution of h — including any threads the
+	// handler forked — has finished.
+	Exit(t Token, h *Handler)
+
+	// RootReturned records that the computation's root expression (the
+	// paper's expression e) has returned and will issue no more direct
+	// calls. Only routing controllers care.
+	RootReturned(t Token)
+
+	// Complete records that the computation has finished entirely: the
+	// root expression returned and all threads terminated.
+	Complete(t Token)
+}
+
+// Restorer is implemented by controllers that abort computations — the
+// paper's second algorithm group, "timestamp-ordering algorithms with
+// rollback/recovery". When a computation finishes with
+// ErrComputationAborted, Isolated calls PrepareRetry instead of Complete:
+// the controller undoes the computation's effects (restoring microprotocol
+// snapshots, releasing claims) and returns the token for the retry attempt
+// (typically preserving the original timestamp, for starvation freedom).
+// A false second result declines the retry; the controller must have
+// cleaned up, and Isolated returns the abort error to the caller.
+type Restorer interface {
+	PrepareRetry(t Token) (retry Token, ok bool)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrActiveComputations is returned by Stack.Rebind while computations are
+// in flight: the paper forbids rebinding inside computations.
+var ErrActiveComputations = errors.New("samoa: rebind while computations are active")
+
+// ErrComputationAborted is produced by rollback-based controllers (the
+// paper's "timestamp-ordering algorithms with rollback/recovery" group,
+// cc.WaitDie) when a computation must be undone and re-executed. It
+// propagates out of triggers like any error; handlers should return it
+// unchanged. Isolated re-runs the computation transparently when the
+// controller asks for a retry, so callers normally never see it.
+var ErrComputationAborted = errors.New("samoa: computation aborted for retry")
+
+// UnboundError reports a trigger of an event type with no bound handler.
+type UnboundError struct {
+	Event string // event type name
+}
+
+func (e *UnboundError) Error() string {
+	return fmt.Sprintf("samoa: no handler bound to event %q", e.Event)
+}
+
+// AmbiguousError reports Trigger/AsyncTrigger of an event type bound to
+// more than one handler; the single-handler constructs mirror the paper's
+// "trigger", which calls a (single) handler.
+type AmbiguousError struct {
+	Event string
+	N     int // number of bound handlers
+}
+
+func (e *AmbiguousError) Error() string {
+	return fmt.Sprintf("samoa: event %q bound to %d handlers; use TriggerAll", e.Event, e.N)
+}
+
+// UndeclaredError reports a computation calling a handler of a
+// microprotocol that is not in its declared collection M (paper §4: "An
+// error exception is thrown in the thread that called isolated").
+type UndeclaredError struct {
+	MP      string // microprotocol name
+	Handler string // handler name
+}
+
+func (e *UndeclaredError) Error() string {
+	return fmt.Sprintf("samoa: handler %s.%s not declared in the computation's spec", e.MP, e.Handler)
+}
+
+// BoundExhaustedError reports a computation exceeding the least upper
+// bound it declared for a microprotocol (paper §4, "isolated bound M e").
+type BoundExhaustedError struct {
+	MP    string
+	Bound int
+}
+
+func (e *BoundExhaustedError) Error() string {
+	return fmt.Sprintf("samoa: visit bound %d for microprotocol %s exhausted", e.Bound, e.MP)
+}
+
+// NoRouteError reports a handler call with no declared route in the
+// computation's routing pattern (paper §4, "isolated route M e"). From is
+// empty when the undeclared call was made directly by the computation's
+// root expression.
+type NoRouteError struct {
+	From string // calling handler ("" for the root expression)
+	To   string // called handler
+}
+
+func (e *NoRouteError) Error() string {
+	from := e.From
+	if from == "" {
+		from = "<root>"
+	}
+	return fmt.Sprintf("samoa: no route from %s to %s in the computation's routing pattern", from, e.To)
+}
+
+// ReadOnlyViolationError reports a computation admitted as a reader of a
+// microprotocol calling one of its non-read-only handlers (the §7
+// isolation-level extension, cc.VCARW).
+type ReadOnlyViolationError struct {
+	MP      string
+	Handler string
+}
+
+func (e *ReadOnlyViolationError) Error() string {
+	return fmt.Sprintf("samoa: read-only computation called writing handler %s.%s", e.MP, e.Handler)
+}
+
+// SpecError reports an invalid Spec passed to Isolated (for example a
+// bound-variant spec handed to the route controller, or a non-positive
+// bound).
+type SpecError struct {
+	Controller string
+	Reason     string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("samoa: invalid spec for controller %s: %s", e.Controller, e.Reason)
+}

@@ -1,0 +1,26 @@
+package core
+
+// Message is the payload carried by an event. The framework never inspects
+// payloads; microprotocols agree on concrete types per event type.
+type Message = any
+
+// EventType identifies a kind of event. Event types are first-class
+// programming objects (paper §3): they can be passed around, stored in
+// data structures, and bound to handlers on a Stack.
+//
+// Two EventType values are the same type only if they are the same
+// pointer; names are purely informational and need not be unique.
+type EventType struct {
+	name string
+}
+
+// NewEventType creates a fresh event type with an informational name.
+func NewEventType(name string) *EventType {
+	return &EventType{name: name}
+}
+
+// Name reports the informational name given at creation.
+func (e *EventType) Name() string { return e.name }
+
+// String implements fmt.Stringer.
+func (e *EventType) String() string { return e.name }

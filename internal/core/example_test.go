@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// The paper's basic construct: isolated M e. The computation declares the
+// microprotocols it may touch; the controller guarantees isolation, so
+// the microprotocol state needs no locks.
+func ExampleStack_Isolated() {
+	stack := core.NewStack(cc.NewVCABasic())
+
+	counter := core.NewMicroprotocol("counter")
+	n := 0
+	inc := counter.AddHandler("inc", func(ctx *core.Context, msg core.Message) error {
+		n += msg.(int)
+		return nil
+	})
+	stack.Register(counter)
+
+	add := core.NewEventType("Add")
+	stack.Bind(add, inc)
+
+	// isolated [counter] { trigger Add 41; trigger Add 1 }
+	err := stack.Isolated(core.Access(counter), func(ctx *core.Context) error {
+		if err := ctx.Trigger(add, 41); err != nil {
+			return err
+		}
+		return ctx.Trigger(add, 1)
+	})
+	fmt.Println(n, err)
+	// Output: 42 <nil>
+}
+
+// The bound construct: isolated bound M e. Exceeding the declared least
+// upper bound of visits raises a runtime error in the calling thread.
+func ExampleAccessBound() {
+	stack := core.NewStack(cc.NewVCABound())
+
+	mp := core.NewMicroprotocol("mp")
+	h := mp.AddHandler("h", func(*core.Context, core.Message) error { return nil })
+	stack.Register(mp)
+	ev := core.NewEventType("ev")
+	stack.Bind(ev, h)
+
+	spec := core.AccessBound(map[*core.Microprotocol]int{mp: 1})
+	err := stack.Isolated(spec, func(ctx *core.Context) error {
+		if err := ctx.Trigger(ev, nil); err != nil {
+			return err
+		}
+		return ctx.Trigger(ev, nil) // second visit: bound exhausted
+	})
+	fmt.Println(err)
+	// Output: samoa: visit bound 1 for microprotocol mp exhausted
+}
+
+// The route construct: isolated route M e. Calls must follow declared
+// routes; here parse may call emit only through the declared edge.
+func ExampleRoute() {
+	stack := core.NewStack(cc.NewVCARoute())
+
+	parse := core.NewMicroprotocol("parse")
+	emit := core.NewMicroprotocol("emit")
+	evEmit := core.NewEventType("Emit")
+	hEmit := emit.AddHandler("run", func(_ *core.Context, msg core.Message) error {
+		fmt.Println("emit:", msg)
+		return nil
+	})
+	hParse := parse.AddHandler("run", func(ctx *core.Context, msg core.Message) error {
+		return ctx.Trigger(evEmit, msg)
+	})
+	stack.Register(parse, emit)
+	evParse := core.NewEventType("Parse")
+	stack.Bind(evParse, hParse)
+	stack.Bind(evEmit, hEmit)
+
+	graph := core.NewRouteGraph().Root(hParse).Edge(hParse, hEmit)
+	err := stack.External(core.Route(graph), evParse, "payload")
+	fmt.Println(err)
+	// Output:
+	// emit: payload
+	// <nil>
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// flakyController aborts the first N attempts of every computation — a
+// minimal core.Restorer for unit-testing Isolated's retry loop
+// independently of any real rollback algorithm.
+type flakyController struct {
+	abortFirst int
+	prepared   int
+	completed  int
+}
+
+type flakyToken struct{ attempt int }
+
+func (c *flakyController) Name() string { return "flaky" }
+func (c *flakyController) Spawn(*core.Spec) (core.Token, error) {
+	return &flakyToken{}, nil
+}
+func (c *flakyController) Request(core.Token, *core.Handler, *core.Handler) error { return nil }
+func (c *flakyController) Enter(t core.Token, _, _ *core.Handler) error {
+	if t.(*flakyToken).attempt < c.abortFirst {
+		return core.ErrComputationAborted
+	}
+	return nil
+}
+func (c *flakyController) Exit(core.Token, *core.Handler) {}
+func (c *flakyController) RootReturned(core.Token)        {}
+func (c *flakyController) Complete(core.Token)            { c.completed++ }
+func (c *flakyController) PrepareRetry(t core.Token) (core.Token, bool) {
+	c.prepared++
+	return &flakyToken{attempt: t.(*flakyToken).attempt + 1}, true
+}
+
+func TestIsolatedRetriesOnAbort(t *testing.T) {
+	rec := trace.NewRecorder()
+	ctrl := &flakyController{abortFirst: 2}
+	s := core.NewStack(ctrl, core.WithTracer(rec))
+	p := core.NewMicroprotocol("p")
+	runs := 0
+	h := p.AddHandler("h", func(*core.Context, core.Message) error {
+		runs++
+		return nil
+	})
+	s.Register(p)
+	et := core.NewEventType("e")
+	s.Bind(et, h)
+
+	rootRuns := 0
+	err := s.Isolated(core.Access(p), func(ctx *core.Context) error {
+		rootRuns++
+		return ctx.Trigger(et, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootRuns != 3 {
+		t.Fatalf("root ran %d times, want 3 (2 aborts + success)", rootRuns)
+	}
+	if runs != 1 {
+		t.Fatalf("handler ran %d times, want 1 (aborted attempts never entered)", runs)
+	}
+	if ctrl.prepared != 2 || ctrl.completed != 1 {
+		t.Fatalf("prepared=%d completed=%d", ctrl.prepared, ctrl.completed)
+	}
+	// The trace shows two aborted attempts and one completed computation,
+	// each with its own ID.
+	st := rec.Stats()
+	if st.Spawned != 3 || st.Aborted != 2 || st.Completed != 1 {
+		t.Fatalf("trace stats = %+v", st)
+	}
+}
+
+// refusingController declines the retry: Isolated must surface the abort
+// error.
+type refusingController struct{ flakyController }
+
+func (c *refusingController) PrepareRetry(core.Token) (core.Token, bool) { return nil, false }
+
+func TestIsolatedAbortWithoutRetrySurfaces(t *testing.T) {
+	ctrl := &refusingController{flakyController{abortFirst: 99}}
+	s := core.NewStack(ctrl)
+	p := core.NewMicroprotocol("p")
+	h := p.AddHandler("h", nopHandler)
+	s.Register(p)
+	et := core.NewEventType("e")
+	s.Bind(et, h)
+	err := s.External(core.Access(p), et, nil)
+	if !errors.Is(err, core.ErrComputationAborted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// nonRestorerAbort: a controller without PrepareRetry that returns the
+// abort error is treated like any other error (no retry loop).
+type abortingController struct{ flakyController }
+
+func TestIsolatedAbortFromNonRestorer(t *testing.T) {
+	// flakyController implements Restorer; build a plain controller via
+	// embedding shadow: use an anonymous wrapper without PrepareRetry.
+	type plain struct{ core.Controller }
+	ctrl := plain{Controller: &abortingController{flakyController{abortFirst: 99}}}
+	// The wrapper forwards everything, including PrepareRetry? No —
+	// plain only embeds core.Controller, so the Restorer method set is
+	// erased at the interface boundary.
+	s := core.NewStack(ctrl)
+	p := core.NewMicroprotocol("p")
+	h := p.AddHandler("h", nopHandler)
+	s.Register(p)
+	et := core.NewEventType("e")
+	s.Bind(et, h)
+	err := s.External(core.Access(p), et, nil)
+	if !errors.Is(err, core.ErrComputationAborted) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// SpecBuilder derives Specs from a protocol's declared call graph — the
+// practical rendering of the paper's §4 remark that "in the
+// strongly-typed language, the proper value of argument M could be
+// inferred statically": the protocol author declares each caller→callee
+// pair once (a static property of the handler bodies), and every spec
+// variant for every entry point falls out by reachability.
+//
+//	b := core.NewSpecBuilder()
+//	b.Edge(recv, deliver)
+//	b.Edge(recv, ack)
+//	spec := b.Basic(recv)       // M = microprotocols reachable from recv
+//	spec  = b.Bound(4, recv)    // same M, with a visit bound per entry
+//	spec  = b.Route(recv)       // routing graph restricted to the reachable part
+type SpecBuilder struct {
+	edges [][2]*Handler
+}
+
+// NewSpecBuilder creates an empty builder.
+func NewSpecBuilder() *SpecBuilder { return &SpecBuilder{} }
+
+// Edge declares that the body of `from` may call `to`. Returns the
+// builder for chaining.
+func (b *SpecBuilder) Edge(from, to *Handler) *SpecBuilder {
+	b.edges = append(b.edges, [2]*Handler{from, to})
+	return b
+}
+
+// Reachable returns the set of handlers reachable from the roots
+// (including the roots).
+func (b *SpecBuilder) Reachable(roots ...*Handler) map[*Handler]bool {
+	reach := make(map[*Handler]bool, len(roots))
+	queue := append([]*Handler(nil), roots...)
+	for _, r := range roots {
+		reach[r] = true
+	}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, e := range b.edges {
+			if e[0] == h && !reach[e[1]] {
+				reach[e[1]] = true
+				queue = append(queue, e[1])
+			}
+		}
+	}
+	return reach
+}
+
+// Basic builds an Access spec: M is the set of microprotocols owning any
+// handler reachable from the roots.
+func (b *SpecBuilder) Basic(roots ...*Handler) *Spec {
+	var mps []*Microprotocol
+	for h := range b.Reachable(roots...) {
+		mps = append(mps, h.MP())
+	}
+	return Access(mps...)
+}
+
+// Bound builds an AccessBound spec over the same M, declaring `bound`
+// visits for every microprotocol.
+func (b *SpecBuilder) Bound(bound int, roots ...*Handler) *Spec {
+	bounds := map[*Microprotocol]int{}
+	for h := range b.Reachable(roots...) {
+		bounds[h.MP()] = bound
+	}
+	return AccessBound(bounds)
+}
+
+// Route builds a Route spec: the declared edges restricted to the part
+// reachable from the roots, with the roots as the computation's direct
+// entry handlers.
+func (b *SpecBuilder) Route(roots ...*Handler) *Spec {
+	reach := b.Reachable(roots...)
+	g := NewRouteGraph().Root(roots...)
+	for _, e := range b.edges {
+		if reach[e[0]] && reach[e[1]] {
+			g.Edge(e[0], e[1])
+		}
+	}
+	return Route(g)
+}

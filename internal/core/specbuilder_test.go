@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSpecBuilderReachability(t *testing.T) {
+	p := core.NewMicroprotocol("pb")
+	q := core.NewMicroprotocol("qb")
+	r := core.NewMicroprotocol("rb")
+	hp := p.AddHandler("hp", nopHandler)
+	hq := q.AddHandler("hq", nopHandler)
+	hr := r.AddHandler("hr", nopHandler)
+
+	b := core.NewSpecBuilder().Edge(hp, hq) // hr disconnected
+	reach := b.Reachable(hp)
+	if !reach[hp] || !reach[hq] || reach[hr] {
+		t.Fatalf("reach = %v", reach)
+	}
+
+	spec := b.Basic(hp)
+	if !spec.Declares(p) || !spec.Declares(q) || spec.Declares(r) {
+		t.Fatalf("basic spec MPs = %v", spec.MPs())
+	}
+}
+
+func TestSpecBuilderBound(t *testing.T) {
+	p := core.NewMicroprotocol("pb2")
+	q := core.NewMicroprotocol("qb2")
+	hp := p.AddHandler("hp", nopHandler)
+	hq := q.AddHandler("hq", nopHandler)
+	spec := core.NewSpecBuilder().Edge(hp, hq).Bound(7, hp)
+	if n, ok := spec.Bound(p); !ok || n != 7 {
+		t.Fatalf("bound(p) = %d, %v", n, ok)
+	}
+	if n, ok := spec.Bound(q); !ok || n != 7 {
+		t.Fatalf("bound(q) = %d, %v", n, ok)
+	}
+}
+
+func TestSpecBuilderRouteRestrictsToReachable(t *testing.T) {
+	p := core.NewMicroprotocol("pb3")
+	hp := p.AddHandler("hp", nopHandler)
+	hq := p.AddHandler("hq", nopHandler)
+	hr := p.AddHandler("hr", nopHandler)
+	// hr→hq exists but hr is unreachable from hp: its edge must not
+	// appear in the route spec built from root hp.
+	b := core.NewSpecBuilder().Edge(hp, hq).Edge(hr, hq)
+	spec := b.Route(hp)
+	g := spec.Graph()
+	if !g.IsRoot(hp) || !g.Contains(hq) || g.Contains(hr) {
+		t.Fatalf("route graph vertices wrong: contains(hr)=%v", g.Contains(hr))
+	}
+	if len(g.Succs(hr)) != 0 {
+		t.Fatal("unreachable edge leaked into the route graph")
+	}
+}
+
+func TestSpecBuilderMultipleRoots(t *testing.T) {
+	p := core.NewMicroprotocol("pb4")
+	q := core.NewMicroprotocol("qb4")
+	hp := p.AddHandler("hp", nopHandler)
+	hq := q.AddHandler("hq", nopHandler)
+	spec := core.NewSpecBuilder().Basic(hp, hq) // no edges at all
+	if !spec.Declares(p) || !spec.Declares(q) {
+		t.Fatalf("MPs = %v", spec.MPs())
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stack is a composition of microprotocols: the unit the paper calls a
+// protocol. It owns the event-type bindings and delegates admission of
+// every handler call to its Controller.
+//
+// A stack is built in two phases. First, Register microprotocols and Bind
+// event types to handlers; this phase is single-threaded. The first
+// Isolated call seals the stack; afterwards bindings are immutable (the
+// paper's static-binding assumption) except through Rebind, which only
+// succeeds while no computation is active.
+type Stack struct {
+	name   string
+	ctrl   Controller
+	tracer Tracer
+
+	mu       sync.RWMutex // guards bindings, mps, sealed, active
+	bindings map[*EventType][]*Handler
+	mps      map[string]*Microprotocol
+	sealed   bool
+	active   int
+
+	compSeq atomic.Uint64
+	invSeq  atomic.Uint64
+}
+
+// StackOption configures a Stack at creation.
+type StackOption func(*Stack)
+
+// WithTracer attaches a Tracer to the stack.
+func WithTracer(t Tracer) StackOption {
+	return func(s *Stack) { s.tracer = t }
+}
+
+// WithName names the stack (for diagnostics).
+func WithName(name string) StackOption {
+	return func(s *Stack) { s.name = name }
+}
+
+// NewStack creates a stack whose computations are scheduled by ctrl.
+// Controllers hold per-stack state and must not be shared across stacks.
+func NewStack(ctrl Controller, opts ...StackOption) *Stack {
+	if ctrl == nil {
+		panic("samoa: NewStack with nil controller")
+	}
+	s := &Stack{
+		ctrl:     ctrl,
+		tracer:   nopTracer{},
+		bindings: make(map[*EventType][]*Handler),
+		mps:      make(map[string]*Microprotocol),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name reports the stack's name.
+func (s *Stack) Name() string { return s.name }
+
+// Controller returns the stack's concurrency controller.
+func (s *Stack) Controller() Controller { return s.ctrl }
+
+// Register adds a microprotocol to the stack. It panics on duplicate
+// names, re-registration, or registration after sealing; all are
+// construction-time programming errors.
+func (s *Stack) Register(mps ...*Microprotocol) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic("samoa: Register after stack sealed")
+	}
+	for _, mp := range mps {
+		if mp.stack != nil {
+			panic(fmt.Sprintf("samoa: microprotocol %s already registered", mp.name))
+		}
+		if _, dup := s.mps[mp.name]; dup {
+			panic(fmt.Sprintf("samoa: duplicate microprotocol name %q", mp.name))
+		}
+		mp.stack = s
+		s.mps[mp.name] = mp
+	}
+}
+
+// MP returns the registered microprotocol with the given name, or nil.
+func (s *Stack) MP(name string) *Microprotocol {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mps[name]
+}
+
+// Bind binds handlers to an event type, in order. Triggering an event of
+// type et requests execution of every bound handler. Bind panics if the
+// stack is sealed or a handler's microprotocol is not registered.
+func (s *Stack) Bind(et *EventType, hs ...*Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic(fmt.Sprintf("samoa: Bind %q after stack sealed (use Rebind)", et.Name()))
+	}
+	s.bindLocked(et, hs)
+}
+
+// Rebind replaces the handlers bound to an event type. It implements the
+// paper's future-work dynamic-binding extension under the paper's own
+// restriction: handlers "cannot be (re)bound inside any computation", so
+// Rebind fails with ErrActiveComputations unless the stack is quiescent.
+func (s *Stack) Rebind(et *EventType, hs ...*Handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active > 0 {
+		return ErrActiveComputations
+	}
+	delete(s.bindings, et)
+	s.bindLocked(et, hs)
+	return nil
+}
+
+func (s *Stack) bindLocked(et *EventType, hs []*Handler) {
+	for _, h := range hs {
+		if h.mp.stack != s {
+			panic(fmt.Sprintf("samoa: handler %s bound on a stack its microprotocol is not registered with", h))
+		}
+		s.bindings[et] = append(s.bindings[et], h)
+	}
+}
+
+// Bound returns the handlers currently bound to et, in bind order.
+func (s *Stack) Bound(et *EventType) []*Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hs := s.bindings[et]
+	out := make([]*Handler, len(hs))
+	copy(out, hs)
+	return out
+}
+
+func (s *Stack) isSealed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sealed
+}
+
+// Isolated spawns a new computation — the Go rendering of the paper's
+// "isolated M e" — and runs root as its root expression. The spec declares
+// what the computation may touch; the stack's controller enforces it and
+// schedules the computation so the isolation property holds.
+//
+// Isolated returns after the computation completes: the root expression
+// returned and every thread it transitively created (forks, asynchronous
+// handler executions) terminated. It returns the first error recorded by
+// the computation: a spec violation, or an error returned by root or by
+// any handler.
+//
+// Under a rollback-based controller (core.Restorer, e.g. cc.WaitDie) a
+// computation may be aborted and transparently re-executed; root and the
+// handlers it reaches then run more than once, so their effects must be
+// confined to microprotocol state the controller can restore.
+func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
+	s.mu.Lock()
+	s.sealed = true
+	s.active++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+
+	var retryToken Token
+	for {
+		token := retryToken
+		if token == nil {
+			var err error
+			if token, err = s.ctrl.Spawn(spec); err != nil {
+				return err
+			}
+		}
+		comp := &Computation{
+			id:    s.compSeq.Add(1),
+			stack: s,
+			token: token,
+			spec:  spec,
+		}
+		s.tracer.Spawned(comp.id, spec)
+
+		rootInv := &invocation{}
+		if root != nil {
+			comp.record(root(&Context{comp: comp, inv: rootInv}))
+		}
+		rootInv.forks.Wait()
+		s.ctrl.RootReturned(token)
+		comp.wg.Wait()
+
+		err := comp.firstErr()
+		if errors.Is(err, ErrComputationAborted) {
+			if r, ok := s.ctrl.(Restorer); ok {
+				if next, retry := r.PrepareRetry(token); retry {
+					s.tracer.Aborted(comp.id)
+					retryToken = next
+					continue
+				}
+				s.tracer.Aborted(comp.id)
+				return err
+			}
+		}
+		s.ctrl.Complete(token)
+		s.tracer.Completed(comp.id)
+		return err
+	}
+}
+
+// IsolatedAsync spawns the computation from a fresh goroutine and returns
+// immediately; the returned channel yields the computation's result once.
+//
+// A computation must never spawn another one synchronously from inside a
+// handler: the paper's model has causally *caused* computations start as
+// new external events, and a nested synchronous Isolated would deadlock
+// under Serial or whenever the specs overlap (the parent cannot release
+// what the child waits for). Use IsolatedAsync for caused computations,
+// timer-driven computations, and network receive loops.
+func (s *Stack) IsolatedAsync(spec *Spec, root func(ctx *Context) error) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- s.Isolated(spec, root) }()
+	return done
+}
+
+// External is a convenience for the common pattern of the paper §4 — a
+// computation whose root expression triggers a single event, e.g.
+// "isolated [relComm relCast ...] { trigger FromNet m }".
+func (s *Stack) External(spec *Spec, et *EventType, msg Message) error {
+	return s.Isolated(spec, func(ctx *Context) error {
+		return ctx.Trigger(et, msg)
+	})
+}
+
+// ExternalAll is External with TriggerAll as the root expression.
+func (s *Stack) ExternalAll(spec *Spec, et *EventType, msg Message) error {
+	return s.Isolated(spec, func(ctx *Context) error {
+		return ctx.TriggerAll(et, msg)
+	})
+}

@@ -1,0 +1,37 @@
+package core
+
+// Tracer observes the execution of a stack: computation spawns and
+// completions, and the commencement and completion of every handler
+// execution. Package trace provides a Recorder that reconstructs the
+// paper's runs (lists of (event, handler) pairs) and checks the isolation
+// property on them.
+//
+// Implementations must be safe for concurrent use; invocation IDs are
+// process-unique and shared between the HandlerStart and HandlerEnd of one
+// handler execution.
+type Tracer interface {
+	// Spawned reports a new computation and its declared spec.
+	Spawned(comp uint64, spec *Spec)
+	// HandlerStart reports that handler h commenced executing in
+	// computation comp, triggered by an event of type et (nil when the
+	// computation's root called the handler through External).
+	HandlerStart(comp, inv uint64, et *EventType, h *Handler)
+	// HandlerEnd reports that the execution started with the same inv
+	// finished.
+	HandlerEnd(comp, inv uint64, h *Handler)
+	// Completed reports that the computation finished entirely.
+	Completed(comp uint64)
+	// Aborted reports that the computation's attempt was rolled back by
+	// a Restorer controller; its recorded effects did not happen. A
+	// retry attempt appears as a fresh computation ID.
+	Aborted(comp uint64)
+}
+
+// nopTracer is used when the stack has no tracer configured.
+type nopTracer struct{}
+
+func (nopTracer) Spawned(uint64, *Spec)                             {}
+func (nopTracer) HandlerStart(uint64, uint64, *EventType, *Handler) {}
+func (nopTracer) HandlerEnd(uint64, uint64, *Handler)               {}
+func (nopTracer) Completed(uint64)                                  {}
+func (nopTracer) Aborted(uint64)                                    {}

@@ -1,0 +1,459 @@
+package ctp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// SpecKind selects the isolated variant the Endpoint's computations
+// declare (must match the controller, as with gc.Site).
+type SpecKind int
+
+// Spec kinds.
+const (
+	SpecBasic SpecKind = iota
+	SpecBound
+	SpecRoute
+)
+
+// Config describes one transport endpoint.
+type Config struct {
+	// Net, ID, Peer place the endpoint and name its single peer.
+	Net      *simnet.Network
+	ID, Peer simnet.NodeID
+	// MSS is the maximum fragment payload (default 512 bytes).
+	MSS int
+	// Composition flags. Ordered requires Reliable (an unreliable
+	// ordered stream would stall forever at the first loss).
+	Reliable, Ordered, Checksummed bool
+	// Window is ARQ's send window (default 32; negative = unlimited).
+	Window int
+	// RTO is ARQ's retransmission timeout (default 50ms).
+	RTO time.Duration
+	// Controller schedules computations (default cc.NewVCABasic()).
+	Controller core.Controller
+	// SpecKind must match the controller.
+	SpecKind SpecKind
+	// Bound is the per-microprotocol visit bound for SpecBound
+	// (default 1024).
+	Bound int
+	// Deliver receives reassembled application messages. It runs inside
+	// computations: be quick, don't call Endpoint methods synchronously.
+	Deliver func(msg []byte)
+	// Tracer, if set, observes the endpoint's stack.
+	Tracer core.Tracer
+	// PumpWorkers caps concurrently processed datagrams (default 16).
+	PumpWorkers int
+}
+
+// Endpoint is one side of a point-to-point transport connection: a SAMOA
+// stack of the configured layers wired to a simnet node.
+type Endpoint struct {
+	cfg   Config
+	stack *core.Stack
+	node  *simnet.Node
+
+	seg  *Segment
+	ord  *Order
+	arq  *ARQ
+	sum  *Checksum
+	wout *WireOut
+	app  *core.Microprotocol
+
+	evAppSend *core.EventType
+	evRecvTop *core.EventType // first receive layer's event
+	evTick    *core.EventType
+	evDeliver *core.EventType
+
+	specSend, specRecv, specTick *core.Spec
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	sem      chan struct{}
+	wg       sync.WaitGroup
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// NewEndpoint builds (but does not start) an endpoint.
+func NewEndpoint(cfg Config) (*Endpoint, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("ctp: Config.Net required")
+	}
+	if cfg.Ordered && !cfg.Reliable {
+		return nil, fmt.Errorf("ctp: Ordered requires Reliable (a loss would stall the stream forever)")
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = 512
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 32
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = cc.NewVCABasic()
+	}
+	if cfg.Bound <= 0 {
+		cfg.Bound = 1024
+	}
+	if cfg.PumpWorkers <= 0 {
+		cfg.PumpWorkers = 16
+	}
+
+	e := &Endpoint{
+		cfg:  cfg,
+		node: cfg.Net.Node(cfg.ID),
+		quit: make(chan struct{}),
+		sem:  make(chan struct{}, cfg.PumpWorkers),
+	}
+	opts := []core.StackOption{core.WithName("ctp")}
+	if cfg.Tracer != nil {
+		opts = append(opts, core.WithTracer(cfg.Tracer))
+	}
+	e.stack = core.NewStack(cfg.Controller, opts...)
+
+	// Events at each enabled layer boundary, bottom-up. The wire's send
+	// event always exists; each enabled layer gets a send event and a
+	// recv event.
+	evWireSend := core.NewEventType("WireSend")
+	e.evDeliver = core.NewEventType("Deliver")
+	e.evAppSend = core.NewEventType("AppSend")
+	e.evTick = core.NewEventType("RetransmitTick")
+
+	// Build bottom-up so every layer knows its down event; remember each
+	// layer's recv event so the layer above can name it as `up`.
+	e.wout = newWireOut(e.node, cfg.Peer)
+	downSend := evWireSend
+
+	var recvChain []*core.EventType // bottom-to-top recv events
+	if cfg.Checksummed {
+		ev := core.NewEventType("SumRecv")
+		e.sum = newChecksum(downSend, nil) // up set below
+		downSend = core.NewEventType("SumSend")
+		recvChain = append(recvChain, ev)
+	}
+	if cfg.Reliable {
+		ev := core.NewEventType("ArqRecv")
+		e.arq = newARQ(cfg.RTO, cfg.Window, downSend, nil)
+		downSend = core.NewEventType("ArqSend")
+		recvChain = append(recvChain, ev)
+	}
+	if cfg.Ordered {
+		ev := core.NewEventType("OrdRecv")
+		e.ord = newOrder(downSend, nil)
+		downSend = core.NewEventType("OrdSend")
+		recvChain = append(recvChain, ev)
+	}
+	segRecv := core.NewEventType("SegRecv")
+	e.seg = newSegment(cfg.MSS, downSend, e.evDeliver)
+	recvChain = append(recvChain, segRecv)
+
+	// Fix up the `up` targets: each layer's recv hands to the next recv
+	// event in the chain.
+	idx := 0
+	if cfg.Checksummed {
+		e.sum.up = recvChain[idx+1]
+		idx++
+	}
+	if cfg.Reliable {
+		e.arq.up = recvChain[idx+1]
+		idx++
+	}
+	if cfg.Ordered {
+		e.ord.up = recvChain[idx+1]
+		idx++
+	}
+	e.evRecvTop = recvChain[0]
+
+	// Application delivery microprotocol.
+	e.app = core.NewMicroprotocol("app")
+	hDeliver := e.app.AddHandler("deliver", func(_ *core.Context, msg core.Message) error {
+		if cfg.Deliver != nil {
+			cfg.Deliver(msg.([]byte))
+		}
+		return nil
+	})
+
+	// Register and bind. Send events chain top-down; note each layer
+	// holds its own down event — bind those to the layer below.
+	e.stack.Register(e.wout.mp, e.seg.mp, e.app)
+	if e.ord != nil {
+		e.stack.Register(e.ord.mp)
+	}
+	if e.arq != nil {
+		e.stack.Register(e.arq.mp)
+	}
+	if e.sum != nil {
+		e.stack.Register(e.sum.mp)
+	}
+
+	e.stack.Bind(e.evAppSend, e.seg.hSend)
+	bindSend := func(ev *core.EventType, h *core.Handler) { e.stack.Bind(ev, h) }
+	// seg.down → (ord|arq|sum|wire).send etc., matching construction.
+	if e.ord != nil {
+		bindSend(e.seg.down, e.ord.hSend)
+		if e.arq != nil {
+			bindSend(e.ord.down, e.arq.hSend)
+		} else if e.sum != nil {
+			bindSend(e.ord.down, e.sum.hSend)
+		} else {
+			bindSend(e.ord.down, e.wout.hSend)
+		}
+	} else if e.arq != nil {
+		bindSend(e.seg.down, e.arq.hSend)
+	} else if e.sum != nil {
+		bindSend(e.seg.down, e.sum.hSend)
+	} else {
+		bindSend(e.seg.down, e.wout.hSend)
+	}
+	if e.arq != nil {
+		if e.sum != nil {
+			bindSend(e.arq.down, e.sum.hSend)
+		} else {
+			bindSend(e.arq.down, e.wout.hSend)
+		}
+		e.stack.Bind(e.evTick, e.arq.hRetransmit)
+	}
+	if e.sum != nil {
+		bindSend(e.sum.down, e.wout.hSend)
+	}
+
+	// Receive chain bindings.
+	idx = 0
+	if e.sum != nil {
+		e.stack.Bind(recvChain[idx], e.sum.hRecv)
+		idx++
+	}
+	if e.arq != nil {
+		e.stack.Bind(recvChain[idx], e.arq.hRecv)
+		idx++
+	}
+	if e.ord != nil {
+		e.stack.Bind(recvChain[idx], e.ord.hRecv)
+		idx++
+	}
+	e.stack.Bind(recvChain[idx], e.seg.hRecv)
+	e.stack.Bind(e.evDeliver, hDeliver)
+
+	e.buildSpecs()
+	return e, nil
+}
+
+// callGraph lists caller→callee pairs for the enabled composition.
+func (e *Endpoint) callGraph() [][2]*core.Handler {
+	var edges [][2]*core.Handler
+	nextSend := func() *core.Handler { // handler seg.send calls
+		switch {
+		case e.ord != nil:
+			return e.ord.hSend
+		case e.arq != nil:
+			return e.arq.hSend
+		case e.sum != nil:
+			return e.sum.hSend
+		default:
+			return e.wout.hSend
+		}
+	}
+	edges = append(edges, [2]*core.Handler{e.seg.hSend, nextSend()})
+	if e.ord != nil {
+		var down *core.Handler
+		switch {
+		case e.arq != nil:
+			down = e.arq.hSend
+		case e.sum != nil:
+			down = e.sum.hSend
+		default:
+			down = e.wout.hSend
+		}
+		edges = append(edges, [2]*core.Handler{e.ord.hSend, down})
+	}
+	if e.arq != nil {
+		var down *core.Handler
+		if e.sum != nil {
+			down = e.sum.hSend
+		} else {
+			down = e.wout.hSend
+		}
+		edges = append(edges,
+			[2]*core.Handler{e.arq.hSend, down},
+			[2]*core.Handler{e.arq.hRetransmit, down},
+			[2]*core.Handler{e.arq.hRecv, down}) // acks
+	}
+	if e.sum != nil {
+		edges = append(edges, [2]*core.Handler{e.sum.hSend, e.wout.hSend})
+	}
+	// Receive chain upward edges.
+	if e.sum != nil {
+		switch {
+		case e.arq != nil:
+			edges = append(edges, [2]*core.Handler{e.sum.hRecv, e.arq.hRecv})
+		case e.ord != nil:
+			edges = append(edges, [2]*core.Handler{e.sum.hRecv, e.ord.hRecv})
+		default:
+			edges = append(edges, [2]*core.Handler{e.sum.hRecv, e.seg.hRecv})
+		}
+	}
+	if e.arq != nil {
+		if e.ord != nil {
+			edges = append(edges, [2]*core.Handler{e.arq.hRecv, e.ord.hRecv})
+		} else {
+			edges = append(edges, [2]*core.Handler{e.arq.hRecv, e.seg.hRecv})
+		}
+	}
+	if e.ord != nil {
+		edges = append(edges, [2]*core.Handler{e.ord.hRecv, e.seg.hRecv})
+	}
+	edges = append(edges, [2]*core.Handler{e.seg.hRecv, e.app.Handler("deliver")})
+	return edges
+}
+
+// buildSpecs derives the per-entry specs from the call graph, as gc.Site
+// does.
+func (e *Endpoint) buildSpecs() {
+	b := core.NewSpecBuilder()
+	for _, ed := range e.callGraph() {
+		b.Edge(ed[0], ed[1])
+	}
+	build := func(roots ...*core.Handler) *core.Spec {
+		switch e.cfg.SpecKind {
+		case SpecRoute:
+			return b.Route(roots...)
+		case SpecBound:
+			return b.Bound(e.cfg.Bound, roots...)
+		default:
+			return b.Basic(roots...)
+		}
+	}
+	e.specSend = build(e.seg.hSend)
+	recvRoot := e.seg.hRecv
+	switch {
+	case e.sum != nil:
+		recvRoot = e.sum.hRecv
+	case e.arq != nil:
+		recvRoot = e.arq.hRecv
+	case e.ord != nil:
+		recvRoot = e.ord.hRecv
+	}
+	e.specRecv = build(recvRoot)
+	if e.arq != nil {
+		e.specTick = build(e.arq.hRetransmit)
+	}
+}
+
+// Start launches the receive pump and, for reliable compositions, the
+// retransmission ticker.
+func (e *Endpoint) Start() {
+	e.wg.Add(1)
+	go e.pump()
+	if e.arq != nil {
+		e.wg.Add(1)
+		go e.ticker()
+	}
+}
+
+// Stop crashes the node (unblocking the pump) and waits for in-flight
+// computations. Stop is idempotent.
+func (e *Endpoint) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.quit)
+		e.cfg.Net.Crash(e.cfg.ID)
+	})
+	e.wg.Wait()
+}
+
+// Send transmits an application message to the peer as one isolated
+// computation.
+func (e *Endpoint) Send(msg []byte) error {
+	return e.stack.External(e.specSend, e.evAppSend, append([]byte(nil), msg...))
+}
+
+func (e *Endpoint) pump() {
+	defer e.wg.Done()
+	for {
+		d, ok := e.node.Recv()
+		if !ok {
+			return
+		}
+		if d.From != e.cfg.Peer {
+			continue
+		}
+		select {
+		case e.sem <- struct{}{}:
+		case <-e.quit:
+			return
+		}
+		e.wg.Add(1)
+		go func(payload []byte) {
+			defer e.wg.Done()
+			defer func() { <-e.sem }()
+			e.record(e.stack.External(e.specRecv, e.evRecvTop, payload))
+		}(d.Payload)
+	}
+}
+
+func (e *Endpoint) ticker() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.RTO / 2)
+	defer t.Stop()
+	busy := make(chan struct{}, 1)
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-t.C:
+		}
+		select {
+		case busy <- struct{}{}:
+		default:
+			continue
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() { <-busy }()
+			e.record(e.stack.External(e.specTick, e.evTick, nil))
+		}()
+	}
+}
+
+func (e *Endpoint) record(err error) {
+	if err == nil {
+		return
+	}
+	e.errMu.Lock()
+	e.errs = append(e.errs, err)
+	e.errMu.Unlock()
+}
+
+// Errs returns computation errors recorded so far.
+func (e *Endpoint) Errs() []error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return append([]error(nil), e.errs...)
+}
+
+// Retransmits reports ARQ retransmissions (0 for unreliable
+// compositions).
+func (e *Endpoint) Retransmits() uint64 {
+	if e.arq == nil {
+		return 0
+	}
+	return e.arq.Retransmits()
+}
+
+// BadFrames reports checksum-rejected datagrams (0 when the layer is
+// disabled).
+func (e *Endpoint) BadFrames() uint64 {
+	if e.sum == nil {
+		return 0
+	}
+	return e.sum.BadFrames()
+}

@@ -1,0 +1,175 @@
+package gc
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// abcastReq asks ABcast to totally-order-broadcast a payload or a
+// membership operation.
+type abcastReq struct {
+	kind uint8
+	data []byte
+	op   byte
+	site simnet.NodeID
+}
+
+// ABcast is the atomic (total-order) broadcast microprotocol (paper §3,
+// §7): payloads are disseminated with RelCast, and their delivery order is
+// fixed by running consensus on batches of not-yet-delivered message IDs.
+// Every site proposes its current pool for the next undecided instance;
+// whichever batch the instance's consensus decides is delivered — in
+// deterministic ID order — on every site; messages that lost the race stay
+// in the pool and ride the next instance.
+type ABcast struct {
+	mp       *core.Microprotocol
+	self     simnet.NodeID
+	ev       *events
+	batchMax int
+
+	pool       map[MsgID]CastMsg
+	delivered  map[MsgID]bool
+	decisions  map[uint64][]CastMsg
+	nextDecide uint64
+	proposed   map[uint64]bool
+	inFlush    bool
+	flushInst  uint64
+
+	hABcast, hRecv, hOnDecide, hSync, hSendSync *core.Handler
+}
+
+func newABcast(self simnet.NodeID, batchMax int, ev *events) *ABcast {
+	a := &ABcast{
+		mp:        core.NewMicroprotocol("abcast"),
+		self:      self,
+		ev:        ev,
+		batchMax:  batchMax,
+		pool:      make(map[MsgID]CastMsg),
+		delivered: make(map[MsgID]bool),
+		decisions: make(map[uint64][]CastMsg),
+		proposed:  make(map[uint64]bool),
+	}
+	a.hABcast = a.mp.AddHandler("abcast", a.abcast)
+	a.hRecv = a.mp.AddHandler("recv", a.recv)
+	a.hOnDecide = a.mp.AddHandler("onDecide", a.onDecide)
+	a.hSync = a.mp.AddHandler("sync", a.sync)
+	a.hSendSync = a.mp.AddHandler("sendSync", a.sendSync)
+	return a
+}
+
+// abcast disseminates the payload via RelCast; ordering starts when the
+// message comes back through DeliverOut into the pool.
+func (a *ABcast) abcast(ctx *core.Context, msg core.Message) error {
+	req := msg.(abcastReq)
+	return ctx.Trigger(a.ev.Bcast, &CastMsg{Kind: req.kind, Data: req.data, Op: req.op, Site: req.site})
+}
+
+// recv pools reliably-broadcast messages awaiting a total order.
+func (a *ABcast) recv(ctx *core.Context, msg core.Message) error {
+	m := msg.(CastMsg)
+	if m.Kind != castApp && m.Kind != castViewChg {
+		return nil // plain/FIFO/causal broadcasts are not ours to order
+	}
+	if a.delivered[m.ID] {
+		return nil
+	}
+	a.pool[m.ID] = m
+	return a.maybePropose(ctx)
+}
+
+// maybePropose proposes the pool for the next undecided instance, once
+// per instance.
+func (a *ABcast) maybePropose(ctx *core.Context) error {
+	inst := a.nextDecide
+	if a.proposed[inst] || len(a.pool) == 0 {
+		return nil
+	}
+	a.proposed[inst] = true
+	batch := make([]CastMsg, 0, len(a.pool))
+	for _, m := range a.pool {
+		batch = append(batch, m)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
+	if len(batch) > a.batchMax {
+		batch = batch[:a.batchMax]
+	}
+	return ctx.Trigger(a.ev.ProposeEv, proposeReq{inst: inst, value: batch})
+}
+
+// onDecide buffers decisions and delivers them gap-free in instance
+// order, each batch in deterministic ID order, deduplicated.
+func (a *ABcast) onDecide(ctx *core.Context, msg core.Message) error {
+	d := msg.(decision)
+	if d.inst < a.nextDecide {
+		return nil
+	}
+	if _, dup := a.decisions[d.inst]; dup {
+		return nil
+	}
+	a.decisions[d.inst] = d.value
+	for {
+		batch, ok := a.decisions[a.nextDecide]
+		if !ok {
+			break
+		}
+		a.inFlush, a.flushInst = true, a.nextDecide
+		sort.Slice(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
+		for _, m := range batch {
+			if a.delivered[m.ID] {
+				continue
+			}
+			a.delivered[m.ID] = true
+			delete(a.pool, m.ID)
+			if err := ctx.TriggerAll(a.ev.ADeliver, m); err != nil {
+				a.inFlush = false
+				return err
+			}
+		}
+		delete(a.decisions, a.nextDecide)
+		delete(a.proposed, a.nextDecide)
+		a.nextDecide++
+	}
+	a.inFlush = false
+	return a.maybePropose(ctx)
+}
+
+// sync handles a join-time state transfer (layerSync on FromRComm): a
+// fresh member fast-forwards its instance pointer to where the group's
+// total order resumes. Members that have already delivered ignore it.
+func (a *ABcast) sync(ctx *core.Context, msg core.Message) error {
+	in := msg.(rcRecvd)
+	r := wire.NewReader(in.inner)
+	if r.U8() != layerSync {
+		return nil
+	}
+	next := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if a.nextDecide != 0 || len(a.delivered) > 0 || next <= a.nextDecide {
+		return nil
+	}
+	a.nextDecide = next
+	for inst := range a.decisions {
+		if inst < next {
+			delete(a.decisions, inst)
+		}
+	}
+	return a.maybePropose(ctx)
+}
+
+// sendSync (SyncReq event) tells a freshly joined site where the total
+// order resumes. It is triggered from Membership's deliverView, which runs
+// inside the flush of the instance that decided the join — so the joiner
+// must resume after that instance.
+func (a *ABcast) sendSync(ctx *core.Context, msg core.Message) error {
+	to := msg.(simnet.NodeID)
+	next := a.nextDecide
+	if a.inFlush && a.flushInst+1 > next {
+		next = a.flushInst + 1
+	}
+	return ctx.Trigger(a.ev.SendOut, rcSendReq{to: to, inner: encodeSyncFrame(next)})
+}

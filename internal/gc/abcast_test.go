@@ -1,0 +1,231 @@
+package gc
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// abHarness drives one ABcast microprotocol in isolation, capturing its
+// proposals, total-order deliveries, Bcast requests, and sync sends.
+type abHarness struct {
+	s         *core.Stack
+	a         *ABcast
+	ev        *events
+	spec      *core.Spec
+	proposals []proposeReq
+	adeliv    []string
+	bcasts    []*CastMsg
+	syncSent  []rcSendReq
+}
+
+func newABHarness(t *testing.T, batchMax int) *abHarness {
+	t.Helper()
+	h := &abHarness{ev: newEvents()}
+	h.s = core.NewStack(cc.NewVCABasic())
+	h.a = newABcast(0, batchMax, h.ev)
+	capture := core.NewMicroprotocol("capture")
+	hProp := capture.AddHandler("propose", func(_ *core.Context, msg core.Message) error {
+		h.proposals = append(h.proposals, msg.(proposeReq))
+		return nil
+	})
+	hDeliv := capture.AddHandler("adeliver", func(_ *core.Context, msg core.Message) error {
+		h.adeliv = append(h.adeliv, string(msg.(CastMsg).Data))
+		return nil
+	})
+	hBcast := capture.AddHandler("bcast", func(_ *core.Context, msg core.Message) error {
+		h.bcasts = append(h.bcasts, msg.(*CastMsg))
+		return nil
+	})
+	hSend := capture.AddHandler("send", func(_ *core.Context, msg core.Message) error {
+		h.syncSent = append(h.syncSent, msg.(rcSendReq))
+		return nil
+	})
+	h.s.Register(h.a.mp, capture)
+	h.s.Bind(h.ev.ProposeEv, hProp)
+	h.s.Bind(h.ev.ADeliver, hDeliv)
+	h.s.Bind(h.ev.Bcast, hBcast)
+	h.s.Bind(h.ev.SendOut, hSend)
+	h.s.Bind(h.ev.ABcastEv, h.a.hABcast)
+	h.s.Bind(h.ev.DeliverOut, h.a.hRecv)
+	h.s.Bind(h.ev.Decide, h.a.hOnDecide)
+	h.s.Bind(h.ev.FromRComm, h.a.hSync)
+	h.s.Bind(h.ev.SyncReq, h.a.hSendSync)
+	h.spec = core.Access(h.a.mp, capture)
+	return h
+}
+
+func cm(origin simnet.NodeID, seq uint64, data string) CastMsg {
+	return CastMsg{ID: MsgID{Origin: origin, Seq: seq}, Kind: castApp, Data: []byte(data)}
+}
+
+func (h *abHarness) pool(t *testing.T, m CastMsg) {
+	t.Helper()
+	if err := h.s.External(h.spec, h.ev.DeliverOut, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (h *abHarness) decide(t *testing.T, inst uint64, batch ...CastMsg) {
+	t.Helper()
+	if err := h.s.External(h.spec, h.ev.Decide, decision{inst: inst, value: batch}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestABcastProposesOncePerInstance(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.pool(t, cm(1, 1, "a"))
+	if len(h.proposals) != 1 || h.proposals[0].inst != 0 {
+		t.Fatalf("proposals = %+v", h.proposals)
+	}
+	// More pool arrivals while instance 0 is open: no second proposal.
+	h.pool(t, cm(1, 2, "b"))
+	h.pool(t, cm(2, 1, "c"))
+	if len(h.proposals) != 1 {
+		t.Fatalf("re-proposed for an open instance: %+v", h.proposals)
+	}
+	// Deciding instance 0 re-proposes the remaining pool for instance 1.
+	h.decide(t, 0, cm(1, 1, "a"))
+	if len(h.proposals) != 2 || h.proposals[1].inst != 1 || len(h.proposals[1].value) != 2 {
+		t.Fatalf("proposals = %+v", h.proposals)
+	}
+}
+
+func TestABcastDeliversBatchesInIDOrder(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.decide(t, 0, cm(2, 1, "z"), cm(1, 1, "a"), cm(1, 2, "b"))
+	want := []string{"a", "b", "z"} // (1,1) < (1,2) < (2,1)
+	if len(h.adeliv) != 3 {
+		t.Fatalf("delivered %v", h.adeliv)
+	}
+	for i, w := range want {
+		if h.adeliv[i] != w {
+			t.Fatalf("delivered %v, want %v", h.adeliv, want)
+		}
+	}
+}
+
+func TestABcastBuffersOutOfOrderDecisions(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.decide(t, 2, cm(1, 3, "c"))
+	h.decide(t, 1, cm(1, 2, "b"))
+	if len(h.adeliv) != 0 {
+		t.Fatalf("delivered before the gap filled: %v", h.adeliv)
+	}
+	h.decide(t, 0, cm(1, 1, "a"))
+	want := []string{"a", "b", "c"}
+	if len(h.adeliv) != 3 {
+		t.Fatalf("delivered %v", h.adeliv)
+	}
+	for i, w := range want {
+		if h.adeliv[i] != w {
+			t.Fatalf("delivered %v, want %v", h.adeliv, want)
+		}
+	}
+}
+
+func TestABcastDeduplicatesAcrossBatches(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.decide(t, 0, cm(1, 1, "a"))
+	h.decide(t, 1, cm(1, 1, "a"), cm(1, 2, "b")) // a won two races
+	if len(h.adeliv) != 2 || h.adeliv[0] != "a" || h.adeliv[1] != "b" {
+		t.Fatalf("delivered %v", h.adeliv)
+	}
+	// Duplicate decision for a past instance is ignored.
+	h.decide(t, 0, cm(9, 9, "ghost"))
+	if len(h.adeliv) != 2 {
+		t.Fatalf("ghost delivered: %v", h.adeliv)
+	}
+}
+
+func TestABcastEmptyBatchAdvances(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.pool(t, cm(1, 1, "a"))
+	h.decide(t, 0) // empty decision burns instance 0
+	// The pool must be re-proposed for instance 1.
+	if len(h.proposals) != 2 || h.proposals[1].inst != 1 {
+		t.Fatalf("proposals = %+v", h.proposals)
+	}
+	h.decide(t, 1, cm(1, 1, "a"))
+	if len(h.adeliv) != 1 || h.adeliv[0] != "a" {
+		t.Fatalf("delivered %v", h.adeliv)
+	}
+}
+
+func TestABcastBatchCap(t *testing.T) {
+	h := newABHarness(t, 2)
+	// Three messages pooled before the first proposal would fire... the
+	// first arrival proposes immediately with batch size 1; decide it,
+	// then the remaining two must fit the cap.
+	h.pool(t, cm(1, 1, "a"))
+	h.pool(t, cm(1, 2, "b"))
+	h.pool(t, cm(1, 3, "c"))
+	h.pool(t, cm(1, 4, "d"))
+	h.decide(t, 0, cm(1, 1, "a"))
+	if got := len(h.proposals[1].value); got != 2 {
+		t.Fatalf("batch size = %d, want cap 2", got)
+	}
+}
+
+func TestABcastRApplIgnored(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.pool(t, CastMsg{ID: MsgID{Origin: 1, Seq: 1}, Kind: castRApp, Data: []byte("plain")})
+	if len(h.proposals) != 0 {
+		t.Fatal("plain reliable broadcast must not be ordered")
+	}
+}
+
+func TestABcastSyncFastForwards(t *testing.T) {
+	h := newABHarness(t, 64)
+	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(5)}); err != nil {
+		t.Fatal(err)
+	}
+	// Decisions below the sync point are ignored; 5 delivers.
+	h.decide(t, 3, cm(1, 1, "old"))
+	h.decide(t, 5, cm(1, 2, "new"))
+	if len(h.adeliv) != 1 || h.adeliv[0] != "new" {
+		t.Fatalf("delivered %v", h.adeliv)
+	}
+}
+
+func TestABcastSyncIgnoredOnceEstablished(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.decide(t, 0, cm(1, 1, "a"))
+	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(9)}); err != nil {
+		t.Fatal(err)
+	}
+	h.decide(t, 1, cm(1, 2, "b"))
+	if len(h.adeliv) != 2 {
+		t.Fatalf("sync after delivery must be ignored; delivered %v", h.adeliv)
+	}
+}
+
+func TestABcastSendSyncUsesFlushPosition(t *testing.T) {
+	h := newABHarness(t, 64)
+	// Trigger a sync request outside a flush: next = 0.
+	if err := h.s.External(h.spec, h.ev.SyncReq, simnet.NodeID(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.syncSent) != 1 || h.syncSent[0].to != 2 {
+		t.Fatalf("sync sends = %+v", h.syncSent)
+	}
+	if h.syncSent[0].inner[0] != layerSync {
+		t.Fatal("not a sync frame")
+	}
+}
+
+func TestABcastAbcastTriggersBcast(t *testing.T) {
+	h := newABHarness(t, 64)
+	if err := h.s.External(h.spec, h.ev.ABcastEv, abcastReq{kind: castApp, data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.bcasts) != 1 || string(h.bcasts[0].Data) != "x" || h.bcasts[0].Kind != castApp {
+		t.Fatalf("bcasts = %+v", h.bcasts)
+	}
+	if h.bcasts[0].ID != (MsgID{}) {
+		t.Fatal("ID must be assigned by RelCast, not ABcast")
+	}
+}

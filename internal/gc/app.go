@@ -1,0 +1,50 @@
+package gc
+
+import (
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// App is the application-facing microprotocol: it turns deliveries and
+// view changes into upcalls. Upcalls run inside computations and must not
+// call Site methods synchronously (spawn a goroutine for follow-up
+// broadcasts — a caused computation is a new external event, paper §2).
+type App struct {
+	mp *core.Microprotocol
+
+	deliver  func(from simnet.NodeID, data []byte)
+	rdeliver func(from simnet.NodeID, data []byte)
+	onView   func(v *View)
+
+	hDeliver, hRDeliver, hViewChange *core.Handler
+}
+
+func newApp(deliver, rdeliver func(from simnet.NodeID, data []byte), onView func(*View)) *App {
+	a := &App{
+		mp:       core.NewMicroprotocol("app"),
+		deliver:  deliver,
+		rdeliver: rdeliver,
+		onView:   onView,
+	}
+	a.hDeliver = a.mp.AddHandler("deliver", func(_ *core.Context, msg core.Message) error {
+		m := msg.(CastMsg)
+		if m.Kind == castApp && a.deliver != nil {
+			a.deliver(m.ID.Origin, m.Data)
+		}
+		return nil
+	})
+	a.hRDeliver = a.mp.AddHandler("rdeliver", func(_ *core.Context, msg core.Message) error {
+		m := msg.(CastMsg)
+		if m.Kind == castRApp && a.rdeliver != nil {
+			a.rdeliver(m.ID.Origin, m.Data)
+		}
+		return nil
+	})
+	a.hViewChange = a.mp.AddHandler("viewChange", func(_ *core.Context, msg core.Message) error {
+		if a.onView != nil {
+			a.onView(msg.(*View))
+		}
+		return nil
+	})
+	return a
+}

@@ -1,0 +1,40 @@
+// Package gc is the group-communication system of paper §3, rebuilt from
+// scratch as SAMOA microprotocols:
+//
+//	Membership ── view changes via atomic broadcast
+//	ABcast     ── total-order broadcast: consensus on batches
+//	Consensus  ── rotating-coordinator, majority-quorum consensus
+//	Fifo       ── FIFO-order broadcast (per-origin sequence numbers)
+//	Causal     ── causal-order broadcast (vector clocks)
+//	RelCast    ── reliable broadcast (rebroadcast on first receipt)
+//	RelComm    ── reliable point-to-point (seq/ack/retransmit/window)
+//	FD         ── heartbeat failure detector
+//	NetOut     ── datagram egress to the simulated network
+//	App        ── delivery upcalls to the embedding application
+//
+// The four broadcast flavours — unordered (RBcast), FIFO (FBcast), causal
+// (CBcast) and total (ABcast) — are the classic ordering spectrum of
+// group-communication toolkits. The stack is not view-synchronous: a
+// joiner may deliver messages that were in flight around its join, and
+// misses pre-join history (ABcast fast-forwards the joiner's instance
+// pointer via a SYNC message).
+//
+// A Site assembles one full stack per simnet node. Exactly as the paper
+// prescribes (§4), every external event — a datagram arriving, an
+// application broadcast, a timer firing — enters the stack through
+// Isolated with a declared spec, and the configured concurrency controller
+// enforces the isolation property across the computations.
+//
+// Consequently, microprotocol state carries no locks: handlers mutate
+// plain maps and slices, and correctness under concurrency is exactly the
+// isolation guarantee under test. The one exception is the group view
+// held by RelComm and RelCast, stored through atomic pointers: under the
+// deliberately unsafe None (Cactus-model) controller used by experiment
+// E6, view reads and view installation race *logically* — the paper's §3
+// "Problem" — and the atomic pointer keeps that a stale-read bug rather
+// than an undefined data race.
+//
+// Handlers never block on the network: every protocol is an event-driven
+// state machine, so computations always terminate — the liveness
+// precondition of the versioning algorithms' completion rules.
+package gc

@@ -1,0 +1,188 @@
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Datagram kinds (outermost byte on the wire).
+const (
+	dgData uint8 = 1 // RelComm data: seq + inner payload
+	dgAck  uint8 = 2 // RelComm ack: seq
+	dgBeat uint8 = 3 // failure-detector heartbeat
+)
+
+// Inner payload layers carried by RelComm (demultiplexed by the handlers
+// bound to FromRComm, each of which ignores the other's layer).
+const (
+	layerRelCast   uint8 = 1
+	layerConsensus uint8 = 2
+	layerSync      uint8 = 3 // join-time state transfer: next ABcast instance
+)
+
+// Cast content kinds (what a delivered broadcast means).
+const (
+	castApp     uint8 = 1 // application payload, totally ordered by ABcast
+	castViewChg uint8 = 2 // membership operation, totally ordered by ABcast
+	castRApp    uint8 = 3 // application payload, plain reliable broadcast
+	castFifo    uint8 = 4 // application payload, FIFO-ordered per origin
+	castCausal  uint8 = 5 // application payload, causally ordered
+)
+
+// Consensus message types.
+const (
+	cPropose  uint8 = 1 // proposer → coordinator: please decide this value
+	cPrepare  uint8 = 2 // coordinator → all: new round
+	cPromise  uint8 = 3 // acceptor → coordinator: promise + last accepted
+	cAccept   uint8 = 4 // coordinator → all: accept this value
+	cAccepted uint8 = 5 // acceptor → coordinator: accepted
+	cDecide   uint8 = 6 // coordinator → all: decision
+)
+
+// MsgID uniquely identifies a broadcast message: origin site plus a
+// per-origin sequence number. It doubles as the total-order tie-breaker
+// inside decided batches.
+type MsgID struct {
+	Origin simnet.NodeID
+	Seq    uint64
+}
+
+// Less orders IDs (origin, then seq).
+func (a MsgID) Less(b MsgID) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Seq < b.Seq
+}
+
+// String implements fmt.Stringer.
+func (a MsgID) String() string { return fmt.Sprintf("%d:%d", a.Origin, a.Seq) }
+
+// CastMsg is the unit RelCast broadcasts and ABcast orders: an application
+// payload or a membership operation.
+type CastMsg struct {
+	ID   MsgID
+	Kind uint8 // castApp or castViewChg
+	Data []byte
+	Op   byte // '+' or '-' (castViewChg)
+	Site simnet.NodeID
+}
+
+func (m *CastMsg) encode(w *wire.Writer) {
+	w.U16(uint16(m.ID.Origin))
+	w.U64(m.ID.Seq)
+	w.U8(m.Kind)
+	switch m.Kind {
+	case castViewChg:
+		w.U8(m.Op)
+		w.U16(uint16(m.Site))
+	default:
+		w.BytesPrefixed(m.Data)
+	}
+}
+
+func decodeCastMsg(r *wire.Reader) CastMsg {
+	var m CastMsg
+	m.ID.Origin = simnet.NodeID(r.U16())
+	m.ID.Seq = r.U64()
+	m.Kind = r.U8()
+	switch m.Kind {
+	case castViewChg:
+		m.Op = r.U8()
+		m.Site = simnet.NodeID(r.U16())
+	default:
+		m.Data = append([]byte(nil), r.BytesPrefixed()...)
+	}
+	return m
+}
+
+// consMsg is one consensus protocol message.
+type consMsg struct {
+	Type     uint8
+	Inst     uint64
+	Round    uint32
+	AccRound uint32 // cPromise: round of the piggybacked accepted value
+	HasValue bool
+	Value    []CastMsg
+}
+
+func (m *consMsg) encode(w *wire.Writer) {
+	w.U8(m.Type)
+	w.U64(m.Inst)
+	w.U32(m.Round)
+	w.U32(m.AccRound)
+	w.Bool(m.HasValue)
+	if m.HasValue {
+		w.UVarint(uint64(len(m.Value)))
+		for i := range m.Value {
+			m.Value[i].encode(w)
+		}
+	}
+}
+
+func decodeConsMsg(r *wire.Reader) consMsg {
+	var m consMsg
+	m.Type = r.U8()
+	m.Inst = r.U64()
+	m.Round = r.U32()
+	m.AccRound = r.U32()
+	m.HasValue = r.Bool()
+	if m.HasValue {
+		n := r.UVarint()
+		if n > 1<<16 {
+			return m // sticky reader error will surface via r.Err()
+		}
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			m.Value = append(m.Value, decodeCastMsg(r))
+		}
+	}
+	return m
+}
+
+// encodeCastFrame wraps a CastMsg as a layerRelCast inner payload.
+func encodeCastFrame(m *CastMsg) []byte {
+	w := wire.NewWriter(32 + len(m.Data))
+	w.U8(layerRelCast)
+	m.encode(w)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// encodeConsFrame wraps a consMsg as a layerConsensus inner payload.
+func encodeConsFrame(m *consMsg) []byte {
+	w := wire.NewWriter(64)
+	w.U8(layerConsensus)
+	m.encode(w)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// encodeSyncFrame wraps the next-instance pointer as a layerSync inner
+// payload (join-time state transfer; decided values carry full message
+// contents, so a fresh member only needs to know where the order resumes).
+func encodeSyncFrame(nextInst uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(layerSync)
+	w.U64(nextInst)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// encodeData builds a RelComm data datagram.
+func encodeData(seq uint64, inner []byte) []byte {
+	w := wire.NewWriter(16 + len(inner))
+	w.U8(dgData)
+	w.U64(seq)
+	w.BytesPrefixed(inner)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// encodeAck builds a RelComm ack datagram.
+func encodeAck(seq uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(dgAck)
+	w.U64(seq)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// encodeBeat builds a failure-detector heartbeat datagram.
+func encodeBeat() []byte { return []byte{dgBeat} }

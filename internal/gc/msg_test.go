@@ -1,0 +1,131 @@
+package gc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func TestCastMsgRoundTrip(t *testing.T) {
+	for _, m := range []CastMsg{
+		{ID: MsgID{Origin: 3, Seq: 42}, Kind: castApp, Data: []byte("payload")},
+		{ID: MsgID{Origin: 0, Seq: 1}, Kind: castRApp, Data: nil},
+		{ID: MsgID{Origin: 7, Seq: 9}, Kind: castViewChg, Op: '+', Site: 5},
+		{ID: MsgID{Origin: 7, Seq: 10}, Kind: castViewChg, Op: '-', Site: 2},
+	} {
+		w := wire.NewWriter(64)
+		m.encode(w)
+		r := wire.NewReader(w.Bytes())
+		got := decodeCastMsg(r)
+		if r.Err() != nil {
+			t.Fatalf("decode: %v", r.Err())
+		}
+		if got.ID != m.ID || got.Kind != m.Kind || got.Op != m.Op || got.Site != m.Site || !bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("round trip: %+v != %+v", got, m)
+		}
+	}
+}
+
+func TestConsMsgRoundTrip(t *testing.T) {
+	m := consMsg{
+		Type: cAccept, Inst: 12, Round: 3, AccRound: 2, HasValue: true,
+		Value: []CastMsg{
+			{ID: MsgID{Origin: 1, Seq: 1}, Kind: castApp, Data: []byte("a")},
+			{ID: MsgID{Origin: 2, Seq: 9}, Kind: castViewChg, Op: '+', Site: 4},
+		},
+	}
+	w := wire.NewWriter(64)
+	m.encode(w)
+	r := wire.NewReader(w.Bytes())
+	got := decodeConsMsg(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if got.Type != m.Type || got.Inst != m.Inst || got.Round != m.Round || len(got.Value) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Value[1].Site != 4 || got.Value[0].Data[0] != 'a' {
+		t.Fatalf("value round trip: %+v", got.Value)
+	}
+}
+
+func TestConsMsgNoValue(t *testing.T) {
+	m := consMsg{Type: cPrepare, Inst: 1, Round: 7}
+	w := wire.NewWriter(16)
+	m.encode(w)
+	got := decodeConsMsg(wire.NewReader(w.Bytes()))
+	if got.HasValue || got.Round != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFrameLayers(t *testing.T) {
+	cm := CastMsg{ID: MsgID{Origin: 1, Seq: 2}, Kind: castApp, Data: []byte("x")}
+	if f := encodeCastFrame(&cm); f[0] != layerRelCast {
+		t.Fatal("cast frame layer")
+	}
+	if f := encodeConsFrame(&consMsg{Type: cDecide}); f[0] != layerConsensus {
+		t.Fatal("cons frame layer")
+	}
+	if f := encodeSyncFrame(5); f[0] != layerSync {
+		t.Fatal("sync frame layer")
+	}
+}
+
+func TestDatagramEncodings(t *testing.T) {
+	d := encodeData(9, []byte("inner"))
+	r := wire.NewReader(d)
+	if r.U8() != dgData || r.U64() != 9 || string(r.BytesPrefixed()) != "inner" || r.Err() != nil {
+		t.Fatal("data datagram round trip")
+	}
+	a := encodeAck(9)
+	r = wire.NewReader(a)
+	if r.U8() != dgAck || r.U64() != 9 || r.Err() != nil {
+		t.Fatal("ack datagram round trip")
+	}
+	if b := encodeBeat(); len(b) != 1 || b[0] != dgBeat {
+		t.Fatal("beat datagram")
+	}
+}
+
+func TestMsgIDOrdering(t *testing.T) {
+	a := MsgID{Origin: 1, Seq: 5}
+	b := MsgID{Origin: 1, Seq: 6}
+	c := MsgID{Origin: 2, Seq: 1}
+	if !a.Less(b) || b.Less(a) || !b.Less(c) || c.Less(a) {
+		t.Fatal("ordering wrong")
+	}
+	if a.String() != "1:5" {
+		t.Fatalf("string = %q", a.String())
+	}
+}
+
+func TestCastMsgQuickRoundTrip(t *testing.T) {
+	prop := func(origin uint16, seq uint64, data []byte) bool {
+		m := CastMsg{ID: MsgID{Origin: simnet.NodeID(origin), Seq: seq}, Kind: castApp, Data: data}
+		w := wire.NewWriter(32)
+		m.encode(w)
+		r := wire.NewReader(w.Bytes())
+		got := decodeCastMsg(r)
+		return r.Err() == nil && got.ID == m.ID && bytes.Equal(got.Data, m.Data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	prop := func(buf []byte) bool {
+		r := wire.NewReader(buf)
+		_ = decodeConsMsg(r)
+		r2 := wire.NewReader(buf)
+		_ = decodeCastMsg(r2)
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

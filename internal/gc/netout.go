@@ -1,0 +1,35 @@
+package gc
+
+import (
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// outDatagram asks NetOut to transmit bytes to a site.
+type outDatagram struct {
+	to   simnet.NodeID
+	data []byte
+}
+
+// NetOut is the egress microprotocol: the single place where the stack
+// hands datagrams to the (simulated) network. Keeping egress behind a
+// microprotocol keeps the whole stack inside the event model, so routing
+// graphs and visit bounds can account for sends.
+type NetOut struct {
+	mp   *core.Microprotocol
+	send *core.Handler
+	node *simnet.Node
+}
+
+func newNetOut(node *simnet.Node) *NetOut {
+	n := &NetOut{
+		mp:   core.NewMicroprotocol("netout"),
+		node: node,
+	}
+	n.send = n.mp.AddHandler("send", func(_ *core.Context, msg core.Message) error {
+		d := msg.(outDatagram)
+		n.node.Send(d.to, d.data)
+		return nil
+	})
+	return n
+}

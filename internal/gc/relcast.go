@@ -1,0 +1,108 @@
+package gc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dedupe"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// RelCast is the reliable broadcast microprotocol of paper §3: to
+// broadcast, send to every site in the view; on first receipt of a
+// message, rebroadcast it (so delivery survives a mid-broadcast sender
+// crash) and deliver it locally via DeliverOut.
+//
+// The broadcast loop sends to every view member including the sender
+// itself; the origin's own copy comes back through the network and is the
+// local delivery. The rebroadcast wave terminates because every site
+// rebroadcasts a given message at most once (the seen set).
+type RelCast struct {
+	mp   *core.Microprotocol
+	self simnet.NodeID
+	ev   *events
+
+	view atomic.Pointer[View]
+	seen map[simnet.NodeID]*dedupe.Seq // per-origin, high-water compacted
+	seq  uint64                        // per-origin ID allocator for locally originated casts
+
+	// afterViewChange is the E6 test hook: it runs after RelCast
+	// installed a new view but before RelComm gets to (bind order), the
+	// exact window of the paper's §3 Problem.
+	afterViewChange func()
+
+	hBcast, hRecv, hViewChange *core.Handler
+}
+
+func newRelCast(self simnet.NodeID, initial *View, ev *events, afterViewChange func()) *RelCast {
+	rb := &RelCast{
+		mp:              core.NewMicroprotocol("relcast"),
+		self:            self,
+		ev:              ev,
+		seen:            make(map[simnet.NodeID]*dedupe.Seq),
+		afterViewChange: afterViewChange,
+	}
+	rb.view.Store(initial)
+	rb.hBcast = rb.mp.AddHandler("bcast", rb.bcast)
+	rb.hRecv = rb.mp.AddHandler("recv", rb.recv)
+	rb.hViewChange = rb.mp.AddHandler("viewChange", rb.viewChange)
+	return rb
+}
+
+// bcast implements "for all site in view: trigger SendOut (m, site)". A
+// locally-originated message (zero ID) gets a fresh ID first.
+func (rb *RelCast) bcast(ctx *core.Context, msg core.Message) error {
+	m := msg.(*CastMsg)
+	if m.ID == (MsgID{}) {
+		rb.seq++
+		m.ID = MsgID{Origin: rb.self, Seq: rb.seq}
+	}
+	return rb.sendAll(ctx, m)
+}
+
+func (rb *RelCast) sendAll(ctx *core.Context, m *CastMsg) error {
+	frame := encodeCastFrame(m)
+	for _, site := range rb.view.Load().Members() {
+		if err := ctx.Trigger(rb.ev.SendOut, rcSendReq{to: site, inner: frame}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recv implements "if (new message m) then { bcast m; asyncTriggerAll
+// DeliverOut m; }". Non-RelCast payloads on FromRComm belong to other
+// microprotocols and are ignored.
+func (rb *RelCast) recv(ctx *core.Context, msg core.Message) error {
+	in := msg.(rcRecvd)
+	r := wire.NewReader(in.inner)
+	if r.U8() != layerRelCast {
+		return nil
+	}
+	m := decodeCastMsg(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	d := rb.seen[m.ID.Origin]
+	if d == nil {
+		d = &dedupe.Seq{}
+		rb.seen[m.ID.Origin] = d
+	}
+	if !d.Mark(m.ID.Seq) {
+		return nil
+	}
+	if err := rb.sendAll(ctx, &m); err != nil {
+		return err
+	}
+	return ctx.AsyncTriggerAll(rb.ev.DeliverOut, m)
+}
+
+// viewChange installs a new view.
+func (rb *RelCast) viewChange(_ *core.Context, msg core.Message) error {
+	rb.view.Store(msg.(*View))
+	if rb.afterViewChange != nil {
+		rb.afterViewChange()
+	}
+	return nil
+}

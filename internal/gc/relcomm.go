@@ -1,0 +1,221 @@
+package gc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dedupe"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// rcSendReq asks RelComm to reliably send an inner payload to a site
+// (the paper's SendOut event message: (m, site)).
+type rcSendReq struct {
+	to    simnet.NodeID
+	inner []byte
+}
+
+// rcRecvd is a reliably-delivered inner payload (the paper's FromRComm
+// event message).
+type rcRecvd struct {
+	sender simnet.NodeID
+	inner  []byte
+}
+
+// pendingSend is an unacknowledged data message awaiting retransmission.
+type pendingSend struct {
+	inner  []byte
+	sentAt time.Time
+}
+
+// RelComm is the reliable point-to-point microprotocol of paper §3:
+// sequence numbers, acknowledgements, retransmission, and the group-view
+// filter ("the message is discarded if the target is not known"; on
+// receipt, delivered upward only "if the sender is in the current group
+// view"). That filter is the heart of experiment E6: a stale view here
+// silently loses messages.
+//
+// All state except the view is plain — isolation is its synchronisation.
+// The view is an atomic pointer so that the deliberately unsafe None
+// controller produces the paper's stale-view bug rather than an undefined
+// data race.
+type RelComm struct {
+	mp     *core.Microprotocol
+	self   simnet.NodeID
+	rto    time.Duration
+	window int // max unacknowledged messages per peer; <=0 = unlimited
+	ev     *events
+
+	view atomic.Pointer[View]
+
+	nextSeq map[simnet.NodeID]uint64
+	pending map[simnet.NodeID]map[uint64]*pendingSend
+	queued  map[simnet.NodeID][][]byte // flow control: waiting for window space
+	seen    map[simnet.NodeID]*dedupe.Seq
+
+	// droppedStale counts sends discarded because the target was not in
+	// the view — the observable of the §3 Problem.
+	droppedStale atomic.Uint64
+
+	hSend, hRecv, hRetransmit, hViewChange *core.Handler
+}
+
+func newRelComm(self simnet.NodeID, initial *View, rto time.Duration, window int, ev *events) *RelComm {
+	rc := &RelComm{
+		mp:      core.NewMicroprotocol("relcomm"),
+		self:    self,
+		rto:     rto,
+		window:  window,
+		ev:      ev,
+		nextSeq: make(map[simnet.NodeID]uint64),
+		pending: make(map[simnet.NodeID]map[uint64]*pendingSend),
+		queued:  make(map[simnet.NodeID][][]byte),
+		seen:    make(map[simnet.NodeID]*dedupe.Seq),
+	}
+	rc.view.Store(initial)
+	rc.hSend = rc.mp.AddHandler("send", rc.send)
+	rc.hRecv = rc.mp.AddHandler("recv", rc.recv)
+	rc.hRetransmit = rc.mp.AddHandler("retransmit", rc.retransmit)
+	rc.hViewChange = rc.mp.AddHandler("viewChange", rc.viewChange)
+	return rc
+}
+
+// send implements the paper's "handler send (m, target): if (target in
+// view) try to send m to target", plus flow control (paper §5 lists
+// "message flow control" as part of the implementation): at most `window`
+// messages per peer may be unacknowledged; the rest queue and flow as
+// acks open the window — this is also what makes the view filter's
+// "necessary to implement finite buffers" remark (§3) concrete.
+func (rc *RelComm) send(ctx *core.Context, msg core.Message) error {
+	req := msg.(rcSendReq)
+	if !rc.view.Load().Contains(req.to) {
+		rc.droppedStale.Add(1)
+		return nil
+	}
+	if rc.window > 0 && len(rc.pending[req.to]) >= rc.window {
+		rc.queued[req.to] = append(rc.queued[req.to], req.inner)
+		return nil
+	}
+	return rc.transmit(ctx, req.to, req.inner)
+}
+
+// transmit assigns a sequence number, buffers for retransmission, and
+// hands the datagram to NetOut.
+func (rc *RelComm) transmit(ctx *core.Context, to simnet.NodeID, inner []byte) error {
+	rc.nextSeq[to]++
+	seq := rc.nextSeq[to]
+	p := rc.pending[to]
+	if p == nil {
+		p = make(map[uint64]*pendingSend)
+		rc.pending[to] = p
+	}
+	p[seq] = &pendingSend{inner: inner, sentAt: time.Now()}
+	return ctx.Trigger(rc.ev.NetSend, outDatagram{to: to, data: encodeData(seq, inner)})
+}
+
+// drainQueue sends queued messages while the peer's window has space.
+func (rc *RelComm) drainQueue(ctx *core.Context, to simnet.NodeID) error {
+	for len(rc.queued[to]) > 0 && (rc.window <= 0 || len(rc.pending[to]) < rc.window) {
+		inner := rc.queued[to][0]
+		rc.queued[to] = rc.queued[to][1:]
+		if !rc.view.Load().Contains(to) {
+			rc.droppedStale.Add(1)
+			continue
+		}
+		if err := rc.transmit(ctx, to, inner); err != nil {
+			return err
+		}
+	}
+	if len(rc.queued[to]) == 0 {
+		delete(rc.queued, to)
+	}
+	return nil
+}
+
+// recv handles an incoming datagram: data messages are acknowledged,
+// deduplicated and — if the sender is in the current view — handed upward
+// via FromRComm; acks clear the retransmission buffer.
+func (rc *RelComm) recv(ctx *core.Context, msg core.Message) error {
+	d := msg.(simnet.Datagram)
+	r := wire.NewReader(d.Payload)
+	switch kind := r.U8(); kind {
+	case dgData:
+		seq := r.U64()
+		inner := r.BytesPrefixed()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		// Ack unconditionally (duplicates mean the ack was lost).
+		if err := ctx.Trigger(rc.ev.NetSend, outDatagram{to: d.From, data: encodeAck(seq)}); err != nil {
+			return err
+		}
+		s := rc.seen[d.From]
+		if s == nil {
+			s = &dedupe.Seq{}
+			rc.seen[d.From] = s
+		}
+		if !s.Mark(seq) {
+			return nil
+		}
+		if !rc.view.Load().Contains(d.From) {
+			return nil
+		}
+		return ctx.AsyncTriggerAll(rc.ev.FromRComm, rcRecvd{sender: d.From, inner: append([]byte(nil), inner...)})
+	case dgAck:
+		seq := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if p := rc.pending[d.From]; p != nil {
+			delete(p, seq)
+		}
+		return rc.drainQueue(ctx, d.From)
+	default:
+		return nil // unknown kind: drop
+	}
+}
+
+// retransmit re-sends every unacknowledged message older than the RTO.
+// It runs as its own timer-driven computation.
+func (rc *RelComm) retransmit(ctx *core.Context, _ core.Message) error {
+	now := time.Now()
+	for to, msgs := range rc.pending {
+		for seq, p := range msgs {
+			if now.Sub(p.sentAt) < rc.rto {
+				continue
+			}
+			p.sentAt = now
+			if err := ctx.Trigger(rc.ev.NetSend, outDatagram{to: to, data: encodeData(seq, p.inner)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// viewChange installs a new view and stops retransmitting to (or queueing
+// for) removed sites.
+func (rc *RelComm) viewChange(_ *core.Context, msg core.Message) error {
+	v := msg.(*View)
+	rc.view.Store(v)
+	for to := range rc.pending {
+		if !v.Contains(to) {
+			delete(rc.pending, to)
+		}
+	}
+	for to := range rc.queued {
+		if !v.Contains(to) {
+			rc.droppedStale.Add(uint64(len(rc.queued[to])))
+			delete(rc.queued, to)
+		}
+	}
+	return nil
+}
+
+// Queued reports messages waiting for window space to the peer (tests).
+func (rc *RelComm) Queued(to simnet.NodeID) int { return len(rc.queued[to]) }
+
+// DroppedStale reports sends dropped by the view filter (E6 observable).
+func (rc *RelComm) DroppedStale() uint64 { return rc.droppedStale.Load() }

@@ -1,0 +1,173 @@
+package gc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// rcHarness wires a bare NetOut + RelComm stack on node 0 of a 2-node
+// simnet, for white-box flow-control and retransmission tests.
+type rcHarness struct {
+	net   *simnet.Network
+	stack *core.Stack
+	rc    *RelComm
+	ev    *events
+	spec  *core.Spec
+}
+
+func newRCHarness(t *testing.T, window int) *rcHarness {
+	t.Helper()
+	h := &rcHarness{
+		net: simnet.New(simnet.Config{Nodes: 2, Seed: 80}),
+		ev:  newEvents(),
+	}
+	t.Cleanup(h.net.Close)
+	h.stack = core.NewStack(cc.NewVCABasic())
+	no := newNetOut(h.net.Node(0))
+	h.rc = newRelComm(0, NewView(0, 1), 50*time.Millisecond, window, h.ev)
+	h.stack.Register(no.mp, h.rc.mp)
+	h.stack.Bind(h.ev.NetSend, no.send)
+	h.stack.Bind(h.ev.SendOut, h.rc.hSend)
+	h.stack.Bind(h.ev.FromNet, h.rc.hRecv)
+	h.stack.Bind(h.ev.RetrTick, h.rc.hRetransmit)
+	h.stack.Bind(h.ev.ViewChange, h.rc.hViewChange)
+	h.spec = core.Access(no.mp, h.rc.mp)
+	return h
+}
+
+func (h *rcHarness) sendTo1(t *testing.T, payload string) {
+	t.Helper()
+	if err := h.stack.External(h.spec, h.ev.SendOut, rcSendReq{to: 1, inner: []byte(payload)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recvData drains node 1's inbox, returning the seqs of data datagrams.
+func (h *rcHarness) recvData(t *testing.T) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for {
+		d, ok := h.net.Node(1).TryRecv()
+		if !ok {
+			return seqs
+		}
+		r := wire.NewReader(d.Payload)
+		if r.U8() == dgData {
+			seqs = append(seqs, r.U64())
+		}
+	}
+}
+
+// ackFrom1 feeds an ack for seq into node 0's stack.
+func (h *rcHarness) ackFrom1(t *testing.T, seq uint64) {
+	t.Helper()
+	d := simnet.Datagram{From: 1, To: 0, Payload: encodeAck(seq)}
+	if err := h.stack.External(h.spec, h.ev.FromNet, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowControlWindowLimitsInFlight(t *testing.T) {
+	h := newRCHarness(t, 2)
+	for i := 0; i < 5; i++ {
+		h.sendTo1(t, "m")
+	}
+	if got := h.recvData(t); len(got) != 2 {
+		t.Fatalf("transmitted %d data datagrams, window is 2", len(got))
+	}
+	if h.rc.Queued(1) != 3 {
+		t.Fatalf("queued = %d, want 3", h.rc.Queued(1))
+	}
+	// One ack opens one slot.
+	h.ackFrom1(t, 1)
+	if got := h.recvData(t); len(got) != 1 {
+		t.Fatalf("after ack: %d new datagrams, want 1", len(got))
+	}
+	if h.rc.Queued(1) != 2 {
+		t.Fatalf("queued = %d, want 2", h.rc.Queued(1))
+	}
+	// Remaining acks drain the rest.
+	h.ackFrom1(t, 2)
+	h.ackFrom1(t, 3)
+	h.ackFrom1(t, 4)
+	h.ackFrom1(t, 5)
+	if h.rc.Queued(1) != 0 {
+		t.Fatalf("queued = %d, want 0", h.rc.Queued(1))
+	}
+}
+
+func TestFlowControlUnlimitedWindow(t *testing.T) {
+	h := newRCHarness(t, -1)
+	for i := 0; i < 10; i++ {
+		h.sendTo1(t, "m")
+	}
+	if got := h.recvData(t); len(got) != 10 {
+		t.Fatalf("transmitted %d, want all 10 with flow control disabled", len(got))
+	}
+}
+
+func TestFlowControlQueueDroppedOnViewRemoval(t *testing.T) {
+	h := newRCHarness(t, 1)
+	for i := 0; i < 4; i++ {
+		h.sendTo1(t, "m")
+	}
+	if h.rc.Queued(1) != 3 {
+		t.Fatalf("queued = %d", h.rc.Queued(1))
+	}
+	before := h.rc.DroppedStale()
+	if err := h.stack.External(h.spec, h.ev.ViewChange, NewView(0)); err != nil {
+		t.Fatal(err)
+	}
+	if h.rc.Queued(1) != 0 {
+		t.Fatal("queue must be dropped when the peer leaves the view")
+	}
+	if h.rc.DroppedStale() != before+3 {
+		t.Fatalf("droppedStale = %d, want %d", h.rc.DroppedStale(), before+3)
+	}
+}
+
+func TestRetransmitResendsUnacked(t *testing.T) {
+	h := newRCHarness(t, 0) // window 0 → unlimited (site default applies elsewhere)
+	h.sendTo1(t, "m")
+	if got := h.recvData(t); len(got) != 1 {
+		t.Fatalf("initial send missing: %v", got)
+	}
+	time.Sleep(60 * time.Millisecond) // past RTO
+	if err := h.stack.External(h.spec, h.ev.RetrTick, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.recvData(t); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("retransmission = %v, want seq 1 again", got)
+	}
+	// Acked messages are not retransmitted.
+	h.ackFrom1(t, 1)
+	time.Sleep(60 * time.Millisecond)
+	if err := h.stack.External(h.spec, h.ev.RetrTick, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.recvData(t); len(got) != 0 {
+		t.Fatalf("acked message retransmitted: %v", got)
+	}
+}
+
+func TestSendToNonMemberDropped(t *testing.T) {
+	h := newRCHarness(t, 4)
+	if err := h.stack.External(h.spec, h.ev.SendOut, rcSendReq{to: 1, inner: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.stack.External(h.spec, h.ev.ViewChange, NewView(0)); err != nil {
+		t.Fatal(err)
+	}
+	before := h.rc.DroppedStale()
+	if err := h.stack.External(h.spec, h.ev.SendOut, rcSendReq{to: 1, inner: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if h.rc.DroppedStale() != before+1 {
+		t.Fatal("send to a non-member must be dropped and counted")
+	}
+}

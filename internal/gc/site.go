@@ -1,0 +1,471 @@
+package gc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// SpecKind selects how a Site declares its computations' specs — i.e.
+// which isolated variant the stack uses (paper §4). It must match the
+// configured controller: VCABound needs SpecBound, VCARoute needs
+// SpecRoute; every other controller runs SpecBasic specs.
+type SpecKind int
+
+// Spec kinds.
+const (
+	SpecBasic SpecKind = iota // isolated M e
+	SpecBound                 // isolated bound M e
+	SpecRoute                 // isolated route M e
+)
+
+// Config describes one Site.
+type Config struct {
+	// Net and ID place the site on a simulated network node.
+	Net *simnet.Network
+	ID  simnet.NodeID
+	// InitialView is the starting group view (must include ID).
+	InitialView *View
+	// Controller schedules the site's computations; default
+	// cc.NewVCABasic(). Controllers must not be shared between sites.
+	Controller core.Controller
+	// SpecKind must match the controller (see SpecKind).
+	SpecKind SpecKind
+	// Bound is the per-microprotocol visit bound declared by SpecBound
+	// computations (default 1024 — deliberately loose; the paper notes
+	// that tight bounds are hard to state for recursive protocols).
+	Bound int
+	// BatchMax caps consensus batch sizes (default 64).
+	BatchMax int
+	// Deliver receives totally-ordered application payloads; RDeliver
+	// receives plain reliable broadcasts; FDeliver receives FIFO-ordered
+	// broadcasts; CDeliver receives causally-ordered broadcasts;
+	// OnViewChange observes view installations. All run inside
+	// computations: they must be quick and must not call Site methods
+	// synchronously.
+	Deliver      func(from simnet.NodeID, data []byte)
+	RDeliver     func(from simnet.NodeID, data []byte)
+	FDeliver     func(from simnet.NodeID, data []byte)
+	CDeliver     func(from simnet.NodeID, data []byte)
+	OnViewChange func(v *View)
+	// RTO is the retransmission timeout (default 50ms); retransmission
+	// scans run at RTO/2.
+	RTO time.Duration
+	// SendWindow is RelComm's flow-control window: the maximum
+	// unacknowledged messages per peer (default 64; negative disables
+	// flow control). Excess sends queue until acks open the window.
+	SendWindow int
+	// FDInterval is the failure-detector period (default 25ms; negative
+	// disables the detector). SuspectAfter is the silence threshold
+	// (default 6×FDInterval).
+	FDInterval   time.Duration
+	SuspectAfter time.Duration
+	// PumpWorkers caps concurrently processed incoming datagrams
+	// (default 32).
+	PumpWorkers int
+	// Tracer, if set, observes the site's stack.
+	Tracer core.Tracer
+	// AfterRelCastView is the E6 test hook; see RelCast.
+	AfterRelCastView func()
+	// Passive disables the receive pump and the timer loops: events
+	// enter only through the Site methods (Inject*, ABcast, …). The E6
+	// experiments use it so that, under the deliberately unsafe None
+	// controller, the only concurrent computations are the two the
+	// adversarial schedule orchestrates — the paper's *logical* race —
+	// rather than incidental Go-level map races with pump workers.
+	Passive bool
+}
+
+// specSet holds one pre-built Spec per external-event entry point.
+type specSet struct {
+	fromnet, ack, beat, fdtick, retrans *core.Spec
+	abcast, rbcast, joinleave, inject   *core.Spec
+	fbcast, cbcast                      *core.Spec
+}
+
+// Site is one member of the group: a full SAMOA stack (NetOut, RelComm,
+// RelCast, FD, Consensus, ABcast, Membership, App) wired to a simnet
+// node. Every external event — datagram, timer tick, application call —
+// enters through Isolated with the spec pre-built for that entry point.
+type Site struct {
+	cfg   Config
+	ev    *events
+	stack *core.Stack
+	node  *simnet.Node
+
+	netout  *NetOut
+	relcomm *RelComm
+	relcast *RelCast
+	fd      *FD
+	cons    *Consensus
+	ab      *ABcast
+	memb    *Membership
+	fifo    *Fifo
+	causal  *Causal
+	app     *App
+
+	specs specSet
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	sem      chan struct{}
+	wg       sync.WaitGroup
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// NewSite builds (but does not start) a site.
+func NewSite(cfg Config) *Site {
+	if cfg.Net == nil || cfg.InitialView == nil {
+		panic("gc: Config needs Net and InitialView")
+	}
+	if !cfg.InitialView.Contains(cfg.ID) {
+		panic("gc: InitialView must contain the site itself")
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = cc.NewVCABasic()
+	}
+	if cfg.Bound <= 0 {
+		cfg.Bound = 1024
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	if cfg.SendWindow == 0 {
+		cfg.SendWindow = 64
+	}
+	if cfg.FDInterval == 0 {
+		cfg.FDInterval = 25 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 6 * cfg.FDInterval
+	}
+	if cfg.PumpWorkers <= 0 {
+		cfg.PumpWorkers = 32
+	}
+
+	s := &Site{
+		cfg:  cfg,
+		ev:   newEvents(),
+		node: cfg.Net.Node(cfg.ID),
+		quit: make(chan struct{}),
+		sem:  make(chan struct{}, cfg.PumpWorkers),
+	}
+	opts := []core.StackOption{core.WithName("site")}
+	if cfg.Tracer != nil {
+		opts = append(opts, core.WithTracer(cfg.Tracer))
+	}
+	s.stack = core.NewStack(cfg.Controller, opts...)
+
+	v := cfg.InitialView
+	s.netout = newNetOut(s.node)
+	s.relcomm = newRelComm(cfg.ID, v, cfg.RTO, cfg.SendWindow, s.ev)
+	s.relcast = newRelCast(cfg.ID, v, s.ev, cfg.AfterRelCastView)
+	s.fd = newFD(cfg.ID, v, cfg.SuspectAfter, s.ev)
+	s.cons = newConsensus(cfg.ID, v, s.ev)
+	s.ab = newABcast(cfg.ID, cfg.BatchMax, s.ev)
+	s.memb = newMembership(cfg.ID, v, s.ev)
+	s.fifo = newFifo(cfg.ID, s.ev, cfg.FDeliver)
+	s.causal = newCausal(cfg.ID, s.ev, cfg.CDeliver)
+	s.app = newApp(cfg.Deliver, cfg.RDeliver, cfg.OnViewChange)
+
+	s.stack.Register(s.netout.mp, s.relcomm.mp, s.relcast.mp, s.fd.mp,
+		s.cons.mp, s.ab.mp, s.memb.mp, s.fifo.mp, s.causal.mp, s.app.mp)
+	s.bind()
+	s.buildSpecs()
+	return s
+}
+
+func (s *Site) bind() {
+	ev := s.ev
+	s.stack.Bind(ev.FromNet, s.relcomm.hRecv)
+	s.stack.Bind(ev.NetSend, s.netout.send)
+	s.stack.Bind(ev.SendOut, s.relcomm.hSend)
+	s.stack.Bind(ev.FromRComm, s.relcast.hRecv, s.cons.hRecv, s.ab.hSync)
+	s.stack.Bind(ev.Bcast, s.relcast.hBcast)
+	s.stack.Bind(ev.DeliverOut, s.ab.hRecv, s.app.hRDeliver, s.fifo.hRecv, s.causal.hRecv)
+	s.stack.Bind(ev.ABcastEv, s.ab.hABcast)
+	s.stack.Bind(ev.FifoEv, s.fifo.hBcast)
+	s.stack.Bind(ev.CausalEv, s.causal.hBcast)
+	s.stack.Bind(ev.ProposeEv, s.cons.hPropose)
+	s.stack.Bind(ev.Decide, s.ab.hOnDecide)
+	s.stack.Bind(ev.ADeliver, s.memb.hDeliverView, s.app.hDeliver)
+	// ViewChange bind order matters for E6: RelCast updates strictly
+	// before RelComm, opening the paper's §3 window under None.
+	s.stack.Bind(ev.ViewChange, s.relcast.hViewChange, s.relcomm.hViewChange,
+		s.fd.hViewChange, s.cons.hViewChange, s.app.hViewChange)
+	s.stack.Bind(ev.JoinLeave, s.memb.hJoinLeave)
+	s.stack.Bind(ev.SyncReq, s.ab.hSendSync)
+	s.stack.Bind(ev.RetrTick, s.relcomm.hRetransmit)
+	s.stack.Bind(ev.FDTick, s.fd.hTick)
+	s.stack.Bind(ev.FDBeat, s.fd.hBeat)
+	s.stack.Bind(ev.Suspect, s.cons.hSuspect)
+}
+
+// callGraph lists every caller→callee pair in the stack — the single
+// source of truth all three spec kinds derive from.
+func (s *Site) callGraph() [][2]*core.Handler {
+	return [][2]*core.Handler{
+		{s.relcomm.hRecv, s.netout.send},
+		{s.relcomm.hRecv, s.relcast.hRecv},
+		{s.relcomm.hRecv, s.cons.hRecv},
+		{s.relcomm.hRecv, s.ab.hSync},
+		{s.relcomm.hSend, s.netout.send},
+		{s.relcomm.hRetransmit, s.netout.send},
+		{s.relcast.hBcast, s.relcomm.hSend},
+		{s.relcast.hRecv, s.relcomm.hSend},
+		{s.relcast.hRecv, s.ab.hRecv},
+		{s.relcast.hRecv, s.app.hRDeliver},
+		{s.relcast.hRecv, s.fifo.hRecv},
+		{s.relcast.hRecv, s.causal.hRecv},
+		{s.fifo.hBcast, s.relcast.hBcast},
+		{s.causal.hBcast, s.relcast.hBcast},
+		{s.cons.hRecv, s.relcomm.hSend},
+		{s.cons.hRecv, s.ab.hOnDecide},
+		{s.cons.hPropose, s.relcomm.hSend},
+		{s.cons.hSuspect, s.relcomm.hSend},
+		{s.ab.hABcast, s.relcast.hBcast},
+		{s.ab.hRecv, s.cons.hPropose},
+		{s.ab.hOnDecide, s.memb.hDeliverView},
+		{s.ab.hOnDecide, s.app.hDeliver},
+		{s.ab.hOnDecide, s.cons.hPropose},
+		{s.memb.hDeliverView, s.relcast.hViewChange},
+		{s.memb.hDeliverView, s.relcomm.hViewChange},
+		{s.memb.hDeliverView, s.fd.hViewChange},
+		{s.memb.hDeliverView, s.cons.hViewChange},
+		{s.memb.hDeliverView, s.app.hViewChange},
+		{s.memb.hJoinLeave, s.ab.hABcast},
+		{s.memb.hDeliverView, s.ab.hSendSync},
+		{s.ab.hSendSync, s.relcomm.hSend},
+		{s.ab.hSync, s.cons.hPropose},
+		{s.fd.hTick, s.netout.send},
+		{s.fd.hTick, s.cons.hSuspect},
+	}
+}
+
+// buildSpecs derives, for each external-event entry point, the spec of the
+// configured kind from the call graph: the reachable subgraph from the
+// entry's root handlers. An acknowledgement datagram, for instance, only
+// touches RelComm — a much smaller M than a data datagram, which may
+// cascade through the whole stack.
+func (s *Site) buildSpecs() {
+	b := core.NewSpecBuilder()
+	for _, e := range s.callGraph() {
+		b.Edge(e[0], e[1])
+	}
+	build := func(roots ...*core.Handler) *core.Spec {
+		switch s.cfg.SpecKind {
+		case SpecRoute:
+			return b.Route(roots...)
+		case SpecBound:
+			return b.Bound(s.cfg.Bound, roots...)
+		default:
+			return b.Basic(roots...)
+		}
+	}
+	s.specs = specSet{
+		fromnet:   build(s.relcomm.hRecv),
+		ack:       build(s.relcomm.hRecv), // see pump: acks never cascade
+		beat:      build(s.fd.hBeat),
+		fdtick:    build(s.fd.hTick),
+		retrans:   build(s.relcomm.hRetransmit),
+		abcast:    build(s.ab.hABcast),
+		rbcast:    build(s.relcast.hBcast),
+		fbcast:    build(s.fifo.hBcast),
+		cbcast:    build(s.causal.hBcast),
+		joinleave: build(s.memb.hJoinLeave),
+		inject:    build(s.memb.hDeliverView, s.app.hDeliver),
+	}
+	// Acks only touch RelComm state: declare exactly that.
+	switch s.cfg.SpecKind {
+	case SpecRoute:
+		s.specs.ack = core.Route(core.NewRouteGraph().
+			Root(s.relcomm.hRecv).Edge(s.relcomm.hRecv, s.netout.send))
+	case SpecBound:
+		s.specs.ack = core.AccessBound(map[*core.Microprotocol]int{
+			s.relcomm.mp: 2, s.netout.mp: 2,
+		})
+	default:
+		s.specs.ack = core.Access(s.relcomm.mp, s.netout.mp)
+	}
+}
+
+// Start launches the receive pump and the timer loops (none in Passive
+// mode).
+func (s *Site) Start() {
+	if s.cfg.Passive {
+		return
+	}
+	s.wg.Add(1)
+	go s.pump()
+	if s.cfg.FDInterval > 0 {
+		s.startTicker(s.cfg.FDInterval, s.specs.fdtick, s.ev.FDTick)
+	}
+	s.startTicker(s.cfg.RTO/2, s.specs.retrans, s.ev.RetrTick)
+}
+
+// Stop shuts the site down: it crashes the node (unblocking the pump) and
+// waits for in-flight computations to complete. Stop is idempotent.
+func (s *Site) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.quit)
+		s.cfg.Net.Crash(s.cfg.ID)
+	})
+	s.wg.Wait()
+}
+
+// pump turns every incoming datagram into one isolated computation,
+// classifying by kind so that heartbeats and acks get their narrow specs.
+func (s *Site) pump() {
+	defer s.wg.Done()
+	for {
+		d, ok := s.node.Recv()
+		if !ok {
+			return
+		}
+		if len(d.Payload) == 0 {
+			continue
+		}
+		var spec *core.Spec
+		var et *core.EventType
+		switch d.Payload[0] {
+		case dgBeat:
+			spec, et = s.specs.beat, s.ev.FDBeat
+		case dgAck:
+			spec, et = s.specs.ack, s.ev.FromNet
+		default:
+			spec, et = s.specs.fromnet, s.ev.FromNet
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.quit:
+			return
+		}
+		s.wg.Add(1)
+		go func(d simnet.Datagram) {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.record(s.stack.External(spec, et, d))
+		}(d)
+	}
+}
+
+// startTicker runs a skip-if-busy periodic computation.
+func (s *Site) startTicker(period time.Duration, spec *core.Spec, et *core.EventType) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		busy := make(chan struct{}, 1)
+		for {
+			select {
+			case <-s.quit:
+				return
+			case <-t.C:
+			}
+			select {
+			case busy <- struct{}{}:
+			default:
+				continue // previous tick still running
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() { <-busy }()
+				s.record(s.stack.External(spec, et, nil))
+			}()
+		}
+	}()
+}
+
+func (s *Site) record(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	s.errs = append(s.errs, err)
+	s.errMu.Unlock()
+}
+
+// Errs returns every error recorded by the site's computations so far —
+// empty in a healthy run; spec violations and decode failures land here.
+func (s *Site) Errs() []error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return append([]error(nil), s.errs...)
+}
+
+// ID reports the site's node ID.
+func (s *Site) ID() simnet.NodeID { return s.cfg.ID }
+
+// View returns the site's current view (as installed at RelComm).
+func (s *Site) View() *View { return s.relcomm.view.Load() }
+
+// DroppedStale reports RelComm sends dropped by the view filter — the E6
+// observable for the paper's §3 Problem.
+func (s *Site) DroppedStale() uint64 { return s.relcomm.DroppedStale() }
+
+// ABcast atomically (totally-ordered) broadcasts an application payload:
+// one isolated computation triggering the ABcast event, per paper §4.
+func (s *Site) ABcast(data []byte) error {
+	return s.stack.External(s.specs.abcast, s.ev.ABcastEv, abcastReq{kind: castApp, data: data})
+}
+
+// RBcast reliably broadcasts an application payload with no ordering
+// guarantee beyond RelCast's.
+func (s *Site) RBcast(data []byte) error {
+	return s.stack.External(s.specs.rbcast, s.ev.Bcast, &CastMsg{Kind: castRApp, Data: data})
+}
+
+// FBcast reliably broadcasts with FIFO order: every site delivers this
+// site's FBcasts in send order.
+func (s *Site) FBcast(data []byte) error {
+	return s.stack.External(s.specs.fbcast, s.ev.FifoEv, append([]byte(nil), data...))
+}
+
+// CBcast reliably broadcasts with causal order: a message is delivered
+// only after everything that causally precedes it.
+func (s *Site) CBcast(data []byte) error {
+	return s.stack.External(s.specs.cbcast, s.ev.CausalEv, append([]byte(nil), data...))
+}
+
+// Join proposes adding a site to the view (totally ordered, so every
+// member installs the same view sequence).
+func (s *Site) Join(id simnet.NodeID) error {
+	return s.stack.External(s.specs.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '+', site: id})
+}
+
+// Leave proposes removing a site from the view.
+func (s *Site) Leave(id simnet.NodeID) error {
+	return s.stack.External(s.specs.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '-', site: id})
+}
+
+// InjectViewChange runs a local view-delivery computation, as if
+// Membership had just delivered [op site] — the E6 entry point for
+// reproducing the §3 race without the full join choreography.
+func (s *Site) InjectViewChange(op byte, site simnet.NodeID) error {
+	m := CastMsg{ID: MsgID{Origin: s.cfg.ID, Seq: ^uint64(0)}, Kind: castViewChg, Op: op, Site: site}
+	return s.stack.ExternalAll(s.specs.inject, s.ev.ADeliver, m)
+}
+
+// InjectDatagram feeds a raw datagram into the stack as if it had arrived
+// from the network, running it as a FromNet computation (test helper).
+func (s *Site) InjectDatagram(d simnet.Datagram) error {
+	return s.stack.External(s.specs.fromnet, s.ev.FromNet, d)
+}
+
+// BuildCastDatagram builds the raw datagram a RelComm at `from` would have
+// emitted to carry a plain reliable broadcast — the E6 experiments use it
+// to inject "the message from the crashed origin" (paper §3 Problem).
+func BuildCastDatagram(from simnet.NodeID, rcSeq uint64, id MsgID, data []byte) simnet.Datagram {
+	frame := encodeCastFrame(&CastMsg{ID: id, Kind: castRApp, Data: data})
+	return simnet.Datagram{From: from, Payload: encodeData(rcSeq, frame)}
+}

@@ -1,0 +1,284 @@
+// Package simnet is an in-memory message-passing network used as the
+// substrate for the group-communication experiments.
+//
+// The paper evaluated J-SAMOA "on distributed machines" (§7); this package
+// substitutes them with N in-process nodes connected by unreliable,
+// delaying links. The properties the protocols under test care about —
+// loss (to exercise retransmission), delay (to exercise timeouts and
+// suspicion), crashes and partitions (to exercise membership) — are all
+// configurable, and the random choices come from a seeded generator so
+// runs are reproducible.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a node; IDs are 0..Nodes-1.
+type NodeID int
+
+// Config describes a network.
+type Config struct {
+	// Nodes is the number of nodes.
+	Nodes int
+	// MinDelay and MaxDelay bound the per-message one-way latency; a
+	// message's delay is uniform in [MinDelay, MaxDelay]. Both zero
+	// means immediate in-line delivery.
+	MinDelay, MaxDelay time.Duration
+	// LossProb is the probability a message is silently dropped.
+	LossProb float64
+	// CorruptProb is the probability a delivered message has one byte
+	// flipped (exercises checksum layers).
+	CorruptProb float64
+	// Seed seeds the deterministic random generator.
+	Seed int64
+	// InboxSize bounds each node's receive queue (default 4096);
+	// overflowing messages are dropped, like a full UDP socket buffer.
+	InboxSize int
+}
+
+// Stats counts network activity. All fields are monotonic.
+type Stats struct {
+	Sent             uint64
+	Delivered        uint64
+	Corrupted        uint64
+	DroppedLoss      uint64
+	DroppedPartition uint64
+	DroppedCrashed   uint64
+	DroppedOverflow  uint64
+}
+
+// Datagram is one unreliable message.
+type Datagram struct {
+	From, To NodeID
+	Payload  []byte
+}
+
+// Network is a simulated network of Nodes. Safe for concurrent use.
+type Network struct {
+	cfg   Config
+	nodes []*Node
+
+	mu     sync.Mutex // guards rng, groups, closed
+	rng    *rand.Rand
+	group  map[NodeID]int // partition group per node; nil when healed
+	closed bool
+
+	sent             atomic.Uint64
+	delivered        atomic.Uint64
+	corrupted        atomic.Uint64
+	droppedLoss      atomic.Uint64
+	droppedPartition atomic.Uint64
+	droppedCrashed   atomic.Uint64
+	droppedOverflow  atomic.Uint64
+}
+
+// Node is one endpoint of the network.
+type Node struct {
+	id      NodeID
+	net     *Network
+	inbox   chan Datagram
+	quit    chan struct{}
+	crashed atomic.Bool
+	once    sync.Once
+}
+
+// New creates a network. It panics on a non-positive node count (a
+// construction-time programming error).
+func New(cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("simnet: invalid node count %d", cfg.Nodes))
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 4096
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	n := &Network{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.nodes = append(n.nodes, &Node{
+			id:    NodeID(i),
+			net:   n,
+			inbox: make(chan Datagram, cfg.InboxSize),
+			quit:  make(chan struct{}),
+		})
+	}
+	return n
+}
+
+// Size reports the number of nodes.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Node returns the node with the given ID. It panics on an out-of-range
+// ID.
+func (n *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: no node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Send transmits payload from one node to another, subject to loss, delay,
+// partitions and crashes. Payload bytes are copied, so the caller may
+// reuse its buffer. Send never blocks.
+func (n *Network) Send(from, to NodeID, payload []byte) {
+	n.sent.Add(1)
+	dst := n.Node(to)
+	if n.Node(from).crashed.Load() || dst.crashed.Load() {
+		n.droppedCrashed.Add(1)
+		return
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if n.group != nil && n.group[from] != n.group[to] {
+		n.mu.Unlock()
+		n.droppedPartition.Add(1)
+		return
+	}
+	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+		n.mu.Unlock()
+		n.droppedLoss.Add(1)
+		return
+	}
+	corruptAt := -1
+	if n.cfg.CorruptProb > 0 && len(payload) > 0 && n.rng.Float64() < n.cfg.CorruptProb {
+		corruptAt = n.rng.Intn(len(payload))
+	}
+	delay := n.cfg.MinDelay
+	if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(span) + 1))
+	}
+	n.mu.Unlock()
+
+	d := Datagram{From: from, To: to, Payload: append([]byte(nil), payload...)}
+	if corruptAt >= 0 {
+		d.Payload[corruptAt] ^= 0x55
+		n.corrupted.Add(1)
+	}
+	if delay == 0 {
+		n.deliver(dst, d)
+		return
+	}
+	time.AfterFunc(delay, func() { n.deliver(dst, d) })
+}
+
+func (n *Network) deliver(dst *Node, d Datagram) {
+	if dst.crashed.Load() {
+		n.droppedCrashed.Add(1)
+		return
+	}
+	select {
+	case dst.inbox <- d:
+		n.delivered.Add(1)
+	case <-dst.quit:
+		n.droppedCrashed.Add(1)
+	default:
+		n.droppedOverflow.Add(1)
+	}
+}
+
+// Crash makes the node silently drop every message sent to or from it, and
+// unblocks its receivers. Crashes are permanent (crash-stop model).
+func (n *Network) Crash(id NodeID) {
+	nd := n.Node(id)
+	if nd.crashed.CompareAndSwap(false, true) {
+		nd.once.Do(func() { close(nd.quit) })
+	}
+}
+
+// Crashed reports whether the node has crashed.
+func (n *Network) Crashed(id NodeID) bool { return n.Node(id).crashed.Load() }
+
+// Partition splits the network: messages flow only within a group. Nodes
+// not listed in any group land in an implicit extra group together.
+func (n *Network) Partition(groups ...[]NodeID) {
+	g := make(map[NodeID]int, len(n.nodes))
+	for i, grp := range groups {
+		for _, id := range grp {
+			g[id] = i + 1
+		}
+	}
+	n.mu.Lock()
+	n.group = g // unlisted nodes default to group 0
+	n.mu.Unlock()
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.group = nil
+	n.mu.Unlock()
+}
+
+// Close shuts the network down: subsequent sends are dropped and all
+// receivers unblock. Close is idempotent.
+func (n *Network) Close() {
+	n.mu.Lock()
+	was := n.closed
+	n.closed = true
+	n.mu.Unlock()
+	if was {
+		return
+	}
+	for _, nd := range n.nodes {
+		nd.once.Do(func() { close(nd.quit) })
+	}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:             n.sent.Load(),
+		Delivered:        n.delivered.Load(),
+		Corrupted:        n.corrupted.Load(),
+		DroppedLoss:      n.droppedLoss.Load(),
+		DroppedPartition: n.droppedPartition.Load(),
+		DroppedCrashed:   n.droppedCrashed.Load(),
+		DroppedOverflow:  n.droppedOverflow.Load(),
+	}
+}
+
+// ID reports the node's identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Recv blocks until a datagram arrives. It returns ok == false once the
+// node has crashed or the network closed (after draining nothing more).
+func (nd *Node) Recv() (Datagram, bool) {
+	select {
+	case d := <-nd.inbox:
+		return d, true
+	case <-nd.quit:
+		// Drain anything already queued before reporting closure.
+		select {
+		case d := <-nd.inbox:
+			return d, true
+		default:
+			return Datagram{}, false
+		}
+	}
+}
+
+// TryRecv returns a queued datagram without blocking.
+func (nd *Node) TryRecv() (Datagram, bool) {
+	select {
+	case d := <-nd.inbox:
+		return d, true
+	default:
+		return Datagram{}, false
+	}
+}
+
+// Send is shorthand for sending from this node.
+func (nd *Node) Send(to NodeID, payload []byte) { nd.net.Send(nd.id, to, payload) }

@@ -1,0 +1,287 @@
+package simnet_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestBasicDelivery(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	defer n.Close()
+	n.Send(0, 1, []byte("hi"))
+	d, ok := n.Node(1).Recv()
+	if !ok || string(d.Payload) != "hi" || d.From != 0 || d.To != 1 {
+		t.Fatalf("recv = %+v ok=%v", d, ok)
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	defer n.Close()
+	buf := []byte("abc")
+	n.Send(0, 1, buf)
+	buf[0] = 'X'
+	d, _ := n.Node(1).Recv()
+	if string(d.Payload) != "abc" {
+		t.Fatalf("payload aliased sender's buffer: %q", d.Payload)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 1})
+	defer n.Close()
+	n.Node(0).Send(0, []byte("loop"))
+	d, ok := n.Node(0).Recv()
+	if !ok || string(d.Payload) != "loop" {
+		t.Fatalf("self delivery failed: %+v %v", d, ok)
+	}
+}
+
+func TestDelayDelaysDelivery(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2, MinDelay: 20 * time.Millisecond, MaxDelay: 30 * time.Millisecond, Seed: 1})
+	defer n.Close()
+	start := time.Now()
+	n.Send(0, 1, []byte("x"))
+	if _, ok := n.Node(1).TryRecv(); ok {
+		t.Fatal("message arrived instantly despite delay")
+	}
+	if _, ok := n.Node(1).Recv(); !ok {
+		t.Fatal("no delivery")
+	}
+	if e := time.Since(start); e < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ ~20ms", e)
+	}
+}
+
+func TestLossDropsRoughlyAtRate(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2, LossProb: 0.5, Seed: 42})
+	defer n.Close()
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send(0, 1, []byte{byte(i)})
+	}
+	st := n.Stats()
+	if st.DroppedLoss == 0 || st.Delivered == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DroppedLoss+st.Delivered != total {
+		t.Fatalf("accounting: %+v", st)
+	}
+	rate := float64(st.DroppedLoss) / total
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("loss rate = %.2f, want ≈ 0.5", rate)
+	}
+}
+
+func TestCorruptionFlipsOneByte(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2, CorruptProb: 1.0, Seed: 9})
+	defer n.Close()
+	orig := []byte{1, 2, 3, 4}
+	n.Send(0, 1, orig)
+	d, ok := n.Node(1).Recv()
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	diff := 0
+	for i := range orig {
+		if d.Payload[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if n.Stats().Corrupted != 1 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+}
+
+func TestNoCorruptionByDefault(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2, Seed: 9})
+	defer n.Close()
+	for i := 0; i < 50; i++ {
+		n.Send(0, 1, []byte{0xAA})
+		d, _ := n.Node(1).Recv()
+		if d.Payload[0] != 0xAA {
+			t.Fatal("corruption without CorruptProb")
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() uint64 {
+		n := simnet.New(simnet.Config{Nodes: 2, LossProb: 0.3, Seed: 7})
+		defer n.Close()
+		for i := 0; i < 500; i++ {
+			n.Send(0, 1, []byte{1})
+		}
+		return n.Stats().DroppedLoss
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different drops: %d vs %d", a, b)
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	defer n.Close()
+	n.Crash(1)
+	if !n.Crashed(1) || n.Crashed(0) {
+		t.Fatal("crash state wrong")
+	}
+	n.Send(0, 1, []byte("x"))
+	if _, ok := n.Node(1).Recv(); ok {
+		t.Fatal("crashed node received a message")
+	}
+	st := n.Stats()
+	if st.DroppedCrashed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Sends *from* a crashed node are dropped too.
+	n.Send(1, 0, []byte("y"))
+	if _, ok := n.Node(0).TryRecv(); ok {
+		t.Fatal("message from crashed node delivered")
+	}
+}
+
+func TestCrashUnblocksReceiver(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 1})
+	defer n.Close()
+	done := make(chan bool)
+	go func() {
+		_, ok := n.Node(0).Recv()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	n.Crash(0)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv should report closure")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on crash")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 4})
+	defer n.Close()
+	n.Partition([]simnet.NodeID{0, 1}, []simnet.NodeID{2, 3})
+	n.Send(0, 2, []byte("x")) // across partition: dropped
+	n.Send(0, 1, []byte("y")) // within group: delivered
+	if d, ok := n.Node(1).Recv(); !ok || string(d.Payload) != "y" {
+		t.Fatal("intra-group delivery failed")
+	}
+	if _, ok := n.Node(2).TryRecv(); ok {
+		t.Fatal("cross-partition delivery")
+	}
+	if st := n.Stats(); st.DroppedPartition != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	n.Heal()
+	n.Send(0, 2, []byte("z"))
+	if d, ok := n.Node(2).Recv(); !ok || string(d.Payload) != "z" {
+		t.Fatal("post-heal delivery failed")
+	}
+}
+
+func TestUnlistedNodesShareImplicitGroup(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 4})
+	defer n.Close()
+	n.Partition([]simnet.NodeID{0}) // 1,2,3 in implicit group 0
+	n.Send(1, 2, []byte("x"))
+	if _, ok := n.Node(2).Recv(); !ok {
+		t.Fatal("unlisted nodes must still talk to each other")
+	}
+	n.Send(0, 1, []byte("y"))
+	if _, ok := n.Node(1).TryRecv(); ok {
+		t.Fatal("isolated node leaked a message")
+	}
+}
+
+func TestInboxOverflow(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2, InboxSize: 4})
+	defer n.Close()
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, []byte{byte(i)})
+	}
+	st := n.Stats()
+	if st.DroppedOverflow != 6 || st.Delivered != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCloseIdempotentAndDropsSends(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	n.Close()
+	n.Close()
+	n.Send(0, 1, []byte("x"))
+	if _, ok := n.Node(1).Recv(); ok {
+		t.Fatal("send after close delivered")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	simnet.New(simnet.Config{Nodes: 0})
+}
+
+func TestConcurrentSendersAndReceivers(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 4, MinDelay: time.Microsecond, MaxDelay: 100 * time.Microsecond, Seed: 3})
+	defer n.Close()
+	const perPair = 100
+	var wg sync.WaitGroup
+	for from := 0; from < 4; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < perPair; i++ {
+				for to := 0; to < 4; to++ {
+					n.Send(simnet.NodeID(from), simnet.NodeID(to), []byte{byte(i)})
+				}
+			}
+		}(from)
+	}
+	var rg sync.WaitGroup
+	counts := make([]int, 4)
+	for to := 0; to < 4; to++ {
+		rg.Add(1)
+		go func(to int) {
+			defer rg.Done()
+			for {
+				if _, ok := n.Node(simnet.NodeID(to)).Recv(); !ok {
+					return
+				}
+				counts[to]++
+				if counts[to] == 4*perPair {
+					return
+				}
+			}
+		}(to)
+	}
+	wg.Wait()
+	done := make(chan struct{})
+	go func() { rg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("receivers stuck; counts = %v, stats = %+v", counts, n.Stats())
+	}
+	for to, c := range counts {
+		if c != 4*perPair {
+			t.Fatalf("node %d received %d, want %d", to, c, 4*perPair)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+// Package trace records protocol runs and checks the isolation property.
+//
+// A run, per paper §2, is the time-ordered list of (event, handler) pairs
+// of a protocol execution. The Recorder reconstructs runs from the
+// core.Tracer callbacks; the Check function decides whether a recorded
+// execution satisfies the isolation property — equivalence to some serial
+// execution of its computations — by building the conflict graph over
+// microprotocol accesses and testing it for cycles, exactly the
+// serializability criterion the paper borrows from database concurrency
+// control (§6).
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Kind discriminates recorded entries.
+type Kind int
+
+// Entry kinds, in the order they occur for a computation.
+const (
+	KindSpawn Kind = iota
+	KindStart
+	KindEnd
+	KindComplete
+	KindAbort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSpawn:
+		return "spawn"
+	case KindStart:
+		return "start"
+	case KindEnd:
+		return "end"
+	case KindComplete:
+		return "complete"
+	case KindAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Entry is one recorded observation. Seq totally orders observations.
+type Entry struct {
+	Seq     uint64
+	Kind    Kind
+	Comp    uint64
+	Inv     uint64          // handler invocation ID (Start/End only)
+	Event   *core.EventType // triggering event type (Start only; may be nil)
+	Handler *core.Handler   // Start/End only
+}
+
+// Recorder implements core.Tracer, accumulating a totally ordered log of
+// one stack's execution. Safe for concurrent use. Attach it with
+// core.WithTracer.
+type Recorder struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries []Entry
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) append(e Entry) {
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
+}
+
+// Spawned implements core.Tracer.
+func (r *Recorder) Spawned(comp uint64, _ *core.Spec) {
+	r.append(Entry{Kind: KindSpawn, Comp: comp})
+}
+
+// HandlerStart implements core.Tracer.
+func (r *Recorder) HandlerStart(comp, inv uint64, et *core.EventType, h *core.Handler) {
+	r.append(Entry{Kind: KindStart, Comp: comp, Inv: inv, Event: et, Handler: h})
+}
+
+// HandlerEnd implements core.Tracer.
+func (r *Recorder) HandlerEnd(comp, inv uint64, h *core.Handler) {
+	r.append(Entry{Kind: KindEnd, Comp: comp, Inv: inv, Handler: h})
+}
+
+// Completed implements core.Tracer.
+func (r *Recorder) Completed(comp uint64) {
+	r.append(Entry{Kind: KindComplete, Comp: comp})
+}
+
+// Aborted implements core.Tracer: the attempt's effects were rolled back,
+// so the checker excludes its accesses.
+func (r *Recorder) Aborted(comp uint64) {
+	r.append(Entry{Kind: KindAbort, Comp: comp})
+}
+
+// Entries returns a copy of the log so far, in observation order.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Reset discards the log (the sequence counter keeps advancing).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.entries = nil
+	r.mu.Unlock()
+}
+
+// Run renders the recorded execution in the paper's run notation: the
+// time-ordered list of (event, handler) pairs, one per commenced handler.
+func (r *Recorder) Run() []RunPair {
+	var run []RunPair
+	for _, e := range r.Entries() {
+		if e.Kind == KindStart {
+			run = append(run, RunPair{Comp: e.Comp, Event: e.Event, Handler: e.Handler})
+		}
+	}
+	return run
+}
+
+// RunPair is one (event, handler) element of a run.
+type RunPair struct {
+	Comp    uint64
+	Event   *core.EventType
+	Handler *core.Handler
+}
+
+// String renders the pair like the paper: "(a0, P)".
+func (p RunPair) String() string {
+	ev := "ext"
+	if p.Event != nil {
+		ev = p.Event.Name()
+	}
+	return fmt.Sprintf("(%s, %s)", ev, p.Handler.Name())
+}
+
+// Stats summarises a recorded execution.
+type Stats struct {
+	// Spawned, Completed, Aborted count computation lifecycle events.
+	Spawned, Completed, Aborted int
+	// HandlerExecutions counts commenced handler executions.
+	HandlerExecutions int
+	// PerMicroprotocol counts executions by microprotocol name.
+	PerMicroprotocol map[string]int
+	// MaxConcurrency is the peak number of computations with an open
+	// handler execution at the same instant.
+	MaxConcurrency int
+}
+
+// Stats summarises the log so far.
+func (r *Recorder) Stats() Stats {
+	st := Stats{PerMicroprotocol: map[string]int{}}
+	openByComp := map[uint64]int{}
+	active := 0
+	for _, e := range r.Entries() {
+		switch e.Kind {
+		case KindSpawn:
+			st.Spawned++
+		case KindComplete:
+			st.Completed++
+		case KindAbort:
+			st.Aborted++
+		case KindStart:
+			st.HandlerExecutions++
+			st.PerMicroprotocol[e.Handler.MP().Name()]++
+			if openByComp[e.Comp] == 0 {
+				active++
+				if active > st.MaxConcurrency {
+					st.MaxConcurrency = active
+				}
+			}
+			openByComp[e.Comp]++
+		case KindEnd:
+			openByComp[e.Comp]--
+			if openByComp[e.Comp] == 0 {
+				active--
+			}
+		}
+	}
+	return st
+}
+
+// WriteTimeline renders an ASCII timeline of the recorded execution: one
+// row per computation, time (observation sequence) on the horizontal
+// axis, '=' while at least one of the computation's handlers is open and
+// the handler's microprotocol initial at each commencement. Concurrent
+// rows overlapping in a column is exactly the paper's notion of
+// interleaved computations.
+func (r *Recorder) WriteTimeline(w io.Writer, width int) {
+	if width <= 10 {
+		width = 72
+	}
+	entries := r.Entries()
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	maxSeq := entries[len(entries)-1].Seq
+	col := func(seq uint64) int {
+		if maxSeq <= 1 {
+			return 0
+		}
+		return int((seq - 1) * uint64(width-1) / maxSeq)
+	}
+	type rowT struct {
+		comp uint64
+		row  []byte
+	}
+	var rows []*rowT
+	byComp := map[uint64]*rowT{}
+	getRow := func(comp uint64) *rowT {
+		rw := byComp[comp]
+		if rw == nil {
+			rw = &rowT{comp: comp, row: bytes.Repeat([]byte{' '}, width)}
+			byComp[comp] = rw
+			rows = append(rows, rw)
+		}
+		return rw
+	}
+	open := map[uint64]uint64{} // inv → start seq
+	for _, e := range entries {
+		switch e.Kind {
+		case KindStart:
+			open[e.Inv] = e.Seq
+			rw := getRow(e.Comp)
+			c := col(e.Seq)
+			initial := byte('?')
+			if name := e.Handler.MP().Name(); len(name) > 0 {
+				initial = name[0]
+			}
+			rw.row[c] = initial
+		case KindEnd:
+			start, ok := open[e.Inv]
+			if !ok {
+				continue
+			}
+			delete(open, e.Inv)
+			rw := getRow(e.Comp)
+			for c := col(start) + 1; c <= col(e.Seq) && c < width; c++ {
+				if rw.row[c] == ' ' {
+					rw.row[c] = '='
+				}
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].comp < rows[j].comp })
+	for _, rw := range rows {
+		fmt.Fprintf(w, "  k%-4d |%s|\n", rw.comp, string(bytes.TrimRight(rw.row, " ")))
+	}
+}
+
+// access is one handler execution interval on one microprotocol.
+type access struct {
+	comp       uint64
+	start, end uint64 // Seq of Start/End entries; end == 0 while open
+}
+
+// Report is the result of checking a recorded execution.
+type Report struct {
+	// Serializable is the isolation property: the execution is
+	// equivalent to some serial execution of its computations.
+	Serializable bool
+	// Serial reports whether the execution was literally serial: no two
+	// computations' handler intervals interleaved at all.
+	Serial bool
+	// Order is a witness serial order of computation IDs when
+	// Serializable (a topological order of the conflict graph).
+	Order []uint64
+	// Cycle is a witness cycle of computation IDs when not
+	// Serializable.
+	Cycle []uint64
+	// Conflicts counts directed conflict-graph edges.
+	Conflicts int
+	// Computations counts computations with at least one handler
+	// execution.
+	Computations int
+	// Aborted counts rolled-back attempts, whose accesses are excluded
+	// from the analysis (their effects were undone).
+	Aborted int
+	// Edges lists the conflict graph's directed edges (from, to) by
+	// computation ID.
+	Edges [][2]uint64
+}
+
+// WriteDOT renders the conflict graph in Graphviz DOT format; nodes are
+// computations, an edge k1→k2 means k1 must precede k2 in any equivalent
+// serial order. Cycle members are drawn red.
+func (rep *Report) WriteDOT(w io.Writer) {
+	inCycle := map[uint64]bool{}
+	for _, c := range rep.Cycle {
+		inCycle[c] = true
+	}
+	fmt.Fprintln(w, "digraph conflicts {")
+	nodes := map[uint64]bool{}
+	addNode := func(c uint64) {
+		if nodes[c] {
+			return
+		}
+		nodes[c] = true
+		attr := ""
+		if inCycle[c] {
+			attr = " [color=red]"
+		}
+		fmt.Fprintf(w, "  k%d%s;\n", c, attr)
+	}
+	for _, c := range rep.Order {
+		addNode(c)
+	}
+	for _, e := range rep.Edges {
+		addNode(e[0])
+		addNode(e[1])
+		attr := ""
+		if inCycle[e[0]] && inCycle[e[1]] {
+			attr = " [color=red]"
+		}
+		fmt.Fprintf(w, "  k%d -> k%d%s;\n", e[0], e[1], attr)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// Concurrent reports whether the execution both interleaved computations
+// and stayed serializable — the class of runs (like the paper's r2) that
+// SAMOA admits but Appia forbids.
+func (rep *Report) Concurrent() bool { return rep.Serializable && !rep.Serial }
+
+// Check analyses the recorded execution. Each handler execution is one
+// operation on its microprotocol; operations of different computations on
+// the same microprotocol conflict. The conflict graph has an edge k1→k2
+// when an operation of k1 on some microprotocol precedes (by start order)
+// an operation of k2 on it; overlapping operations of different
+// computations on one microprotocol conflict both ways. The execution
+// satisfies the isolation property iff the graph is acyclic.
+func (r *Recorder) Check() *Report {
+	entries := r.Entries()
+
+	// Attempts rolled back by a Restorer controller never happened;
+	// drop their accesses entirely.
+	aborted := make(map[uint64]bool)
+	for _, e := range entries {
+		if e.Kind == KindAbort {
+			aborted[e.Comp] = true
+		}
+	}
+
+	// Pair Start/End entries into accesses, grouped by microprotocol.
+	open := make(map[uint64]*access) // by Inv
+	byMP := make(map[*core.Microprotocol][]*access)
+	comps := make(map[uint64]bool)
+	var compSpans = make(map[uint64]*[2]uint64) // [min start, max end]
+	for _, e := range entries {
+		if aborted[e.Comp] {
+			continue
+		}
+		switch e.Kind {
+		case KindStart:
+			a := &access{comp: e.Comp, start: e.Seq}
+			open[e.Inv] = a
+			byMP[e.Handler.MP()] = append(byMP[e.Handler.MP()], a)
+			comps[e.Comp] = true
+			if sp := compSpans[e.Comp]; sp == nil {
+				compSpans[e.Comp] = &[2]uint64{e.Seq, e.Seq}
+			}
+		case KindEnd:
+			if a := open[e.Inv]; a != nil {
+				a.end = e.Seq
+				delete(open, e.Inv)
+				if sp := compSpans[e.Comp]; sp != nil && e.Seq > sp[1] {
+					sp[1] = e.Seq
+				}
+			}
+		}
+	}
+	// Open accesses (still running) extend to the end of the log.
+	maxSeq := uint64(0)
+	if n := len(entries); n > 0 {
+		maxSeq = entries[n-1].Seq + 1
+	}
+	for _, a := range open {
+		a.end = maxSeq
+	}
+
+	rep := &Report{Computations: len(comps), Aborted: len(aborted)}
+
+	// Conflict edges.
+	edges := make(map[uint64]map[uint64]bool)
+	addEdge := func(from, to uint64) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[uint64]bool)
+		}
+		if !edges[from][to] {
+			edges[from][to] = true
+			rep.Conflicts++
+			rep.Edges = append(rep.Edges, [2]uint64{from, to})
+		}
+	}
+	for _, accs := range byMP {
+		sort.Slice(accs, func(i, j int) bool { return accs[i].start < accs[j].start })
+		for i, a := range accs {
+			for _, b := range accs[i+1:] {
+				if a.comp == b.comp {
+					continue
+				}
+				addEdge(a.comp, b.comp) // a started first
+				if b.start < a.end {    // overlap: also conflicts back
+					addEdge(b.comp, a.comp)
+				}
+			}
+		}
+	}
+
+	// Literal seriality: computation handler spans pairwise disjoint.
+	rep.Serial = true
+	spans := make([]struct {
+		comp uint64
+		lo   uint64
+		hi   uint64
+	}, 0, len(compSpans))
+	for c, sp := range compSpans {
+		spans = append(spans, struct {
+			comp uint64
+			lo   uint64
+			hi   uint64
+		}{c, sp[0], sp[1]})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			rep.Serial = false
+			break
+		}
+	}
+
+	// Topological sort / cycle detection (deterministic order).
+	ids := make([]uint64, 0, len(comps))
+	for c := range comps {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[uint64]int, len(ids))
+	var order []uint64
+	var cycle []uint64
+	var path []uint64
+	var visit func(u uint64) bool
+	visit = func(u uint64) bool {
+		color[u] = grey
+		path = append(path, u)
+		succs := make([]uint64, 0, len(edges[u]))
+		for v := range edges[u] {
+			succs = append(succs, v)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, v := range succs {
+			switch color[v] {
+			case white:
+				if !visit(v) {
+					return false
+				}
+			case grey:
+				// Cut the witness cycle out of the DFS path.
+				for i, w := range path {
+					if w == v {
+						cycle = append(cycle, path[i:]...)
+						break
+					}
+				}
+				return false
+			}
+		}
+		path = path[:len(path)-1]
+		color[u] = black
+		order = append(order, u)
+		return true
+	}
+	for _, u := range ids {
+		if color[u] == white && !visit(u) {
+			rep.Cycle = cycle
+			return rep
+		}
+	}
+	// order is reverse-topological; flip it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rep.Serializable = true
+	rep.Order = order
+	return rep
+}

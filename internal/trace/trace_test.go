@@ -1,0 +1,353 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// fab fabricates handler Start/End observations directly on a Recorder,
+// so checker behaviour can be pinned on exact schedules.
+type fab struct {
+	rec *trace.Recorder
+	inv uint64
+	hs  map[string]*core.Handler
+}
+
+func newFab(mps ...string) *fab {
+	f := &fab{rec: trace.NewRecorder(), hs: map[string]*core.Handler{}}
+	for _, name := range mps {
+		mp := core.NewMicroprotocol(name)
+		f.hs[name] = mp.AddHandler("h", func(*core.Context, core.Message) error { return nil })
+	}
+	return f
+}
+
+// call records a complete handler execution by comp on mp.
+func (f *fab) call(comp uint64, mp string) {
+	f.inv++
+	f.rec.HandlerStart(comp, f.inv, nil, f.hs[mp])
+	f.rec.HandlerEnd(comp, f.inv, f.hs[mp])
+}
+
+// start begins an execution, returning its invocation ID for end.
+func (f *fab) start(comp uint64, mp string) uint64 {
+	f.inv++
+	f.rec.HandlerStart(comp, f.inv, nil, f.hs[mp])
+	return f.inv
+}
+
+func (f *fab) end(comp, inv uint64, mp string) {
+	f.rec.HandlerEnd(comp, inv, f.hs[mp])
+}
+
+func TestCheckEmptyLog(t *testing.T) {
+	rep := trace.NewRecorder().Check()
+	if !rep.Serializable || !rep.Serial || rep.Computations != 0 {
+		t.Fatalf("empty: %+v", rep)
+	}
+}
+
+// TestCheckSerialRunR1 is the paper's run r1: kb entirely after ka.
+func TestCheckSerialRunR1(t *testing.T) {
+	f := newFab("P", "Q", "R", "S")
+	f.call(1, "P")
+	f.call(1, "R")
+	f.call(1, "S")
+	f.call(2, "Q")
+	f.call(2, "R")
+	f.call(2, "S")
+	rep := f.rec.Check()
+	if !rep.Serializable || !rep.Serial {
+		t.Fatalf("r1: %+v", rep)
+	}
+	if len(rep.Order) != 2 || rep.Order[0] != 1 || rep.Order[1] != 2 {
+		t.Fatalf("order = %v", rep.Order)
+	}
+	if rep.Computations != 2 {
+		t.Fatalf("computations = %d", rep.Computations)
+	}
+}
+
+// TestCheckConcurrentRunR2 is the paper's r2: interleaved but isolated —
+// ka reaches every shared microprotocol before kb.
+func TestCheckConcurrentRunR2(t *testing.T) {
+	f := newFab("P", "Q", "R", "S")
+	f.call(1, "P")
+	f.call(2, "Q") // kb starts before ka finished: not serial
+	f.call(1, "R")
+	f.call(1, "S")
+	f.call(2, "R")
+	f.call(2, "S")
+	rep := f.rec.Check()
+	if !rep.Serializable {
+		t.Fatalf("r2 must be serializable: cycle %v", rep.Cycle)
+	}
+	if rep.Serial {
+		t.Fatal("r2 is interleaved, not serial")
+	}
+	if !rep.Concurrent() {
+		t.Fatal("r2 is the concurrent-yet-isolated class")
+	}
+}
+
+// TestCheckViolationRunR3 is the paper's r3: ka before kb on R, kb before
+// ka on S — a conflict cycle.
+func TestCheckViolationRunR3(t *testing.T) {
+	f := newFab("P", "Q", "R", "S")
+	f.call(1, "P")
+	f.call(2, "Q")
+	f.call(1, "R")
+	f.call(2, "R")
+	f.call(2, "S")
+	f.call(1, "S")
+	rep := f.rec.Check()
+	if rep.Serializable {
+		t.Fatal("r3 must violate isolation")
+	}
+	if len(rep.Cycle) < 2 {
+		t.Fatalf("cycle witness = %v", rep.Cycle)
+	}
+}
+
+// TestCheckOverlappingAccessesConflictBothWays: two computations inside
+// one microprotocol simultaneously cannot be serialized.
+func TestCheckOverlappingAccesses(t *testing.T) {
+	f := newFab("P")
+	i1 := f.start(1, "P")
+	i2 := f.start(2, "P")
+	f.end(1, i1, "P")
+	f.end(2, i2, "P")
+	rep := f.rec.Check()
+	if rep.Serializable {
+		t.Fatal("overlapping accesses on one microprotocol must be a violation")
+	}
+}
+
+// TestCheckOpenAccessExtends: an access with no End (still running when
+// the log was cut) conflicts with everything after its start.
+func TestCheckOpenAccess(t *testing.T) {
+	f := newFab("P")
+	f.start(1, "P") // never ends
+	f.call(2, "P")
+	rep := f.rec.Check()
+	if rep.Serializable {
+		t.Fatal("open access must overlap later accesses")
+	}
+}
+
+func TestCheckSameComputationNoConflict(t *testing.T) {
+	f := newFab("P")
+	i1 := f.start(1, "P")
+	i2 := f.start(1, "P") // same computation: concurrent self-accesses OK
+	f.end(1, i2, "P")
+	f.end(1, i1, "P")
+	rep := f.rec.Check()
+	if !rep.Serializable {
+		t.Fatalf("single computation must be serializable: %+v", rep)
+	}
+}
+
+func TestCheckThreeWayCycle(t *testing.T) {
+	f := newFab("X", "Y", "Z")
+	f.call(1, "X")
+	f.call(2, "X") // 1→2
+	f.call(2, "Y")
+	f.call(3, "Y") // 2→3
+	f.call(3, "Z")
+	f.call(1, "Z") // 3→1
+	rep := f.rec.Check()
+	if rep.Serializable {
+		t.Fatal("3-cycle must violate isolation")
+	}
+	if len(rep.Cycle) != 3 {
+		t.Fatalf("cycle = %v, want all three computations", rep.Cycle)
+	}
+}
+
+func TestCheckChainTopoOrder(t *testing.T) {
+	f := newFab("X", "Y")
+	f.call(3, "X")
+	f.call(1, "X") // 3→1
+	f.call(1, "Y")
+	f.call(2, "Y") // 1→2
+	rep := f.rec.Check()
+	if !rep.Serializable {
+		t.Fatalf("chain: %+v", rep)
+	}
+	want := []uint64{3, 1, 2}
+	for i, c := range want {
+		if rep.Order[i] != c {
+			t.Fatalf("order = %v, want %v", rep.Order, want)
+		}
+	}
+	if rep.Conflicts != 2 {
+		t.Fatalf("conflicts = %d, want 2", rep.Conflicts)
+	}
+}
+
+func TestRunNotation(t *testing.T) {
+	rec := trace.NewRecorder()
+	mp := core.NewMicroprotocol("R")
+	h := mp.AddHandler("recv", func(*core.Context, core.Message) error { return nil })
+	et := core.NewEventType("a1")
+	rec.HandlerStart(1, 1, et, h)
+	rec.HandlerEnd(1, 1, h)
+	run := rec.Run()
+	if len(run) != 1 {
+		t.Fatalf("run = %v", run)
+	}
+	if got := run[0].String(); got != "(a1, recv)" {
+		t.Fatalf("pair = %q", got)
+	}
+	if run[0].Comp != 1 {
+		t.Fatalf("comp = %d", run[0].Comp)
+	}
+}
+
+func TestRunNotationNilEvent(t *testing.T) {
+	rec := trace.NewRecorder()
+	mp := core.NewMicroprotocol("R")
+	h := mp.AddHandler("recv", func(*core.Context, core.Message) error { return nil })
+	rec.HandlerStart(1, 1, nil, h)
+	if got := rec.Run()[0].String(); !strings.Contains(got, "ext") {
+		t.Fatalf("pair = %q", got)
+	}
+}
+
+func TestEntriesAndReset(t *testing.T) {
+	rec := trace.NewRecorder()
+	rec.Spawned(1, nil)
+	rec.Completed(1)
+	es := rec.Entries()
+	if len(es) != 2 || es[0].Kind != trace.KindSpawn || es[1].Kind != trace.KindComplete {
+		t.Fatalf("entries = %v", es)
+	}
+	if es[0].Seq >= es[1].Seq {
+		t.Fatal("seq must increase")
+	}
+	if es[0].Kind.String() != "spawn" || es[1].Kind.String() != "complete" {
+		t.Fatal("kind strings")
+	}
+	rec.Reset()
+	if len(rec.Entries()) != 0 {
+		t.Fatal("reset must clear the log")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := newFab("P", "Q")
+	f.rec.Spawned(1, nil)
+	f.rec.Spawned(2, nil)
+	i1 := f.start(1, "P")
+	i2 := f.start(2, "Q") // both computations open: peak 2
+	f.end(1, i1, "P")
+	f.end(2, i2, "Q")
+	f.call(1, "P")
+	f.rec.Completed(1)
+	f.rec.Aborted(2)
+	st := f.rec.Stats()
+	if st.Spawned != 2 || st.Completed != 1 || st.Aborted != 1 {
+		t.Fatalf("lifecycle counts: %+v", st)
+	}
+	if st.HandlerExecutions != 3 || st.PerMicroprotocol["P"] != 2 || st.PerMicroprotocol["Q"] != 1 {
+		t.Fatalf("execution counts: %+v", st)
+	}
+	if st.MaxConcurrency != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", st.MaxConcurrency)
+	}
+}
+
+func TestCheckExcludesAbortedAttempts(t *testing.T) {
+	f := newFab("P")
+	// An aborted attempt overlapping another computation would be a
+	// violation — but its effects were rolled back, so it must not
+	// count.
+	i1 := f.start(1, "P")
+	i2 := f.start(2, "P")
+	f.end(1, i1, "P")
+	f.end(2, i2, "P")
+	f.rec.Aborted(2)
+	rep := f.rec.Check()
+	if !rep.Serializable {
+		t.Fatalf("aborted attempt polluted the analysis: %+v", rep)
+	}
+	if rep.Aborted != 1 || rep.Computations != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	f := newFab("X", "Y")
+	f.call(1, "X")
+	f.call(2, "X")
+	f.call(2, "Y")
+	f.call(1, "Y") // cycle: 1→2 on X, 2→1 on Y
+	rep := f.rec.Check()
+	if rep.Serializable {
+		t.Fatal("expected violation")
+	}
+	var sb strings.Builder
+	rep.WriteDOT(&sb)
+	out := sb.String()
+	for _, want := range []string{"digraph conflicts", "k1 -> k2", "k2 -> k1", "color=red"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	if len(rep.Edges) != 2 {
+		t.Fatalf("edges = %v", rep.Edges)
+	}
+}
+
+func TestWriteDOTAcyclic(t *testing.T) {
+	f := newFab("X")
+	f.call(1, "X")
+	f.call(2, "X")
+	rep := f.rec.Check()
+	var sb strings.Builder
+	rep.WriteDOT(&sb)
+	if strings.Contains(sb.String(), "color=red") {
+		t.Fatal("acyclic graph coloured red")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	f := newFab("P", "Q")
+	i1 := f.start(1, "P")
+	i2 := f.start(2, "Q")
+	f.end(2, i2, "Q")
+	f.end(1, i1, "P")
+	var sb strings.Builder
+	f.rec.WriteTimeline(&sb, 40)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("timeline rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "k1") || !strings.Contains(lines[0], "P") {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "k2") || !strings.Contains(lines[1], "Q") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	trace.NewRecorder().WriteTimeline(&sb, 40)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatalf("out = %q", sb.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if trace.KindStart.String() != "start" || trace.KindEnd.String() != "end" {
+		t.Fatal("kind strings")
+	}
+	if trace.Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

@@ -1,0 +1,80 @@
+package wire_test
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzReaderNeverPanics drives the sticky reader with arbitrary bytes and
+// an arbitrary schedule of reads: decoding must fail with an error, never
+// a panic, and must never read past the buffer.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{4, 5, 6})
+	f.Fuzz(func(t *testing.T, buf, ops []byte) {
+		r := wire.NewReader(buf)
+		for _, op := range ops {
+			switch op % 7 {
+			case 0:
+				r.U8()
+			case 1:
+				r.U16()
+			case 2:
+				r.U32()
+			case 3:
+				r.U64()
+			case 4:
+				r.UVarint()
+			case 5:
+				r.BytesPrefixed()
+			case 6:
+				_ = r.String()
+			}
+			if r.Remaining() < 0 {
+				t.Fatal("negative remaining")
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip encodes arbitrary values and checks they decode back
+// exactly, with nothing left over.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), []byte(nil), "", true)
+	f.Add(uint64(1<<63), []byte{1, 2, 3}, "hello", false)
+	f.Fuzz(func(t *testing.T, a uint64, b []byte, s string, c bool) {
+		w := wire.NewWriter(16)
+		w.U64(a)
+		w.BytesPrefixed(b)
+		w.String(s)
+		w.Bool(c)
+		w.UVarint(a)
+		r := wire.NewReader(w.Bytes())
+		if r.U64() != a {
+			t.Fatal("u64")
+		}
+		rb := r.BytesPrefixed()
+		if len(rb) != len(b) {
+			t.Fatal("bytes len")
+		}
+		for i := range b {
+			if rb[i] != b[i] {
+				t.Fatal("bytes content")
+			}
+		}
+		if r.String() != s {
+			t.Fatal("string")
+		}
+		if r.Bool() != c {
+			t.Fatal("bool")
+		}
+		if r.UVarint() != a {
+			t.Fatal("varint")
+		}
+		if r.Err() != nil || r.Remaining() != 0 {
+			t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+		}
+	})
+}

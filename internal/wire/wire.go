@@ -1,0 +1,196 @@
+// Package wire is a compact, allocation-light binary codec for the
+// group-communication messages. It is deliberately hand-rolled (the paper's
+// frameworks marshal messages to the network format themselves; x-kernel
+// heritage) rather than reflective: fixed little-endian integers, varint
+// lengths, and a sticky-error reader so decoding code needs a single error
+// check at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a read past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLong reports a length prefix exceeding sane limits.
+var ErrTooLong = errors.New("wire: length prefix too long")
+
+// maxLen bounds byte-slice and string lengths (16 MiB) to stop corrupt
+// length prefixes from allocating absurd buffers.
+const maxLen = 16 << 20
+
+// Writer appends primitive values to a growing buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter creates a writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The writer still owns it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len reports the number of encoded bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset empties the writer, retaining its buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a byte 0/1.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 appends a little-endian 16-bit value.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian 32-bit value.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian 64-bit value.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends a little-endian signed 64-bit value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// UVarint appends an unsigned varint.
+func (w *Writer) UVarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Bytes appends a varint length prefix followed by the bytes.
+func (w *Writer) BytesPrefixed(b []byte) {
+	w.UVarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a varint length prefix followed by the string bytes.
+func (w *Writer) String(s string) {
+	w.UVarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes primitive values from a buffer. The first decoding
+// failure sticks: every later read returns zero values and Err() reports
+// the failure, so decoders can check once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader creates a reader over buf (not copied).
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of unread bytes.
+func (r *Reader) Remaining() int {
+	if r.off > len(r.buf) {
+		return 0
+	}
+	return len(r.buf) - r.off
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf)))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a byte as a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a little-endian 16-bit value.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// UVarint reads an unsigned varint.
+func (r *Reader) UVarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("%w: bad varint at offset %d", ErrTruncated, r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// BytesPrefixed reads a varint length prefix and that many bytes. The
+// returned slice aliases the reader's buffer.
+func (r *Reader) BytesPrefixed() []byte {
+	n := r.UVarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		r.fail(fmt.Errorf("%w: %d bytes", ErrTooLong, n))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// String reads a varint length prefix and that many bytes as a string.
+func (r *Reader) String() string { return string(r.BytesPrefixed()) }

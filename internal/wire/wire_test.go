@@ -1,0 +1,204 @@
+package wire_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	w := wire.NewWriter(64)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(65535)
+	w.U32(1 << 30)
+	w.U64(1 << 62)
+	w.I64(-42)
+	w.UVarint(300)
+	w.BytesPrefixed([]byte{1, 2, 3})
+	w.String("hello")
+
+	r := wire.NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := r.U16(); got != 65535 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := r.U32(); got != 1<<30 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<62 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.UVarint(); got != 300 {
+		t.Fatalf("UVarint = %d", got)
+	}
+	if got := r.BytesPrefixed(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestTruncatedReadsStick(t *testing.T) {
+	r := wire.NewReader([]byte{1})
+	_ = r.U32() // needs 4 bytes
+	if !errors.Is(r.Err(), wire.ErrTruncated) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Sticky: further reads keep the first error and return zeros.
+	if got := r.U8(); got != 0 {
+		t.Fatalf("post-error read = %d", got)
+	}
+	if !errors.Is(r.Err(), wire.ErrTruncated) {
+		t.Fatalf("err changed: %v", r.Err())
+	}
+}
+
+func TestBadVarint(t *testing.T) {
+	// 10 continuation bytes: invalid varint.
+	r := wire.NewReader([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	_ = r.UVarint()
+	if !errors.Is(r.Err(), wire.ErrTruncated) {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestOversizedLengthPrefix(t *testing.T) {
+	w := wire.NewWriter(16)
+	w.UVarint(1 << 40) // absurd claimed length
+	r := wire.NewReader(w.Bytes())
+	_ = r.BytesPrefixed()
+	if !errors.Is(r.Err(), wire.ErrTooLong) {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := wire.NewWriter(8)
+	w.U64(1)
+	if w.Len() != 8 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len after reset = %d", w.Len())
+	}
+}
+
+func TestEmptyBytesAndString(t *testing.T) {
+	w := wire.NewWriter(4)
+	w.BytesPrefixed(nil)
+	w.String("")
+	r := wire.NewReader(w.Bytes())
+	if got := r.BytesPrefixed(); len(got) != 0 {
+		t.Fatalf("bytes = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("string = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+// TestQuickRoundTrip: arbitrary (u64, bytes, string, bool) tuples survive
+// a round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(a uint64, b []byte, s string, c bool, d uint16) bool {
+		w := wire.NewWriter(32)
+		w.U64(a)
+		w.BytesPrefixed(b)
+		w.String(s)
+		w.Bool(c)
+		w.U16(d)
+		r := wire.NewReader(w.Bytes())
+		ra := r.U64()
+		rb := r.BytesPrefixed()
+		rs := r.String()
+		rc := r.Bool()
+		rd := r.U16()
+		if r.Err() != nil || r.Remaining() != 0 {
+			return false
+		}
+		if ra != a || rs != s || rc != c || rd != d || len(rb) != len(b) {
+			return false
+		}
+		for i := range b {
+			if rb[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVarint: varints round-trip for arbitrary values.
+func TestQuickVarint(t *testing.T) {
+	prop := func(vs []uint64) bool {
+		w := wire.NewWriter(16)
+		for _, v := range vs {
+			w.UVarint(v)
+		}
+		r := wire.NewReader(w.Bytes())
+		for _, v := range vs {
+			if r.UVarint() != v {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTruncationNeverPanics: decoding arbitrary garbage with an
+// arbitrary schedule of reads never panics, only errors.
+func TestQuickTruncationNeverPanics(t *testing.T) {
+	prop := func(buf []byte, ops []byte) bool {
+		r := wire.NewReader(buf)
+		for _, op := range ops {
+			switch op % 7 {
+			case 0:
+				r.U8()
+			case 1:
+				r.U16()
+			case 2:
+				r.U32()
+			case 3:
+				r.U64()
+			case 4:
+				r.UVarint()
+			case 5:
+				r.BytesPrefixed()
+			case 6:
+				_ = r.String()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
