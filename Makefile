@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench eval eval-quick fuzz examples clean
+.PHONY: all build vet test race bench bench-core eval eval-quick eval-json fuzz examples clean
 
 all: build vet test
 
@@ -23,12 +23,22 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Core/cc hot-path microbenchmarks only, repeated for stable comparisons:
+#   make bench-core > old.txt; ...change...; make bench-core > new.txt
+#   benchstat old.txt new.txt
+bench-core:
+	$(GO) test -run '^$$' -bench 'TriggerSealed|SpawnComplete|ContentionDisjoint' -count=10 -benchmem .
+
 # The evaluation tables of EXPERIMENTS.md.
 eval:
 	$(GO) run ./cmd/samoa-bench
 
 eval-quick:
 	$(GO) run ./cmd/samoa-bench -quick
+
+# Machine-readable results: one BENCH_E<k>.json per experiment.
+eval-json:
+	$(GO) run ./cmd/samoa-bench -json
 
 # Short fuzzing passes over the decode paths.
 fuzz:

@@ -1,0 +1,75 @@
+// Allocation-regression tests for the hot paths overhauled by the
+// sealed-dispatch / dense-version-table work: the budgets asserted here
+// are the contract the benchmarks in bench_test.go report against. If a
+// change raises one of these averages, the fast path regressed — fix the
+// path, don't raise the budget.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// TestTriggerSealedAllocBudget asserts the sealed synchronous Trigger
+// fast path is allocation-free: binding lookup reads the published
+// snapshot, the handler frame comes from a pool, and vca-basic admission
+// is a lock-free atomic check. The budget is 0; the < 0.5 tolerance only
+// absorbs a GC emptying the frame pool mid-run.
+func TestTriggerSealedAllocBudget(t *testing.T) {
+	for _, name := range []string{"none", "vca-basic"} {
+		t.Run(name, func(t *testing.T) {
+			v, ok := bench.VariantByName(name)
+			if !ok {
+				t.Fatal("unknown variant")
+			}
+			st := core.NewStack(v.New())
+			mp := core.NewMicroprotocol("mp")
+			h := mp.AddHandler("h", func(*core.Context, core.Message) error { return nil })
+			st.Register(mp)
+			et := core.NewEventType("e")
+			st.Bind(et, h)
+			err := st.Isolated(core.Access(mp), func(ctx *core.Context) error {
+				avg := testing.AllocsPerRun(200, func() {
+					if err := ctx.Trigger(et, nil); err != nil {
+						t.Error(err)
+					}
+				})
+				if avg >= 0.5 {
+					t.Errorf("sealed Trigger: %.2f allocs/op, budget 0", avg)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSpawnCompleteAllocBudget asserts an Access-spec computation's
+// controller lifecycle (Spawn + RootReturned + Complete) under vca-basic
+// stays at its compiled-footprint budget: one token and one private
+// version slice — 2 allocations, independent of how many microprotocols
+// the spec declares.
+func TestSpawnCompleteAllocBudget(t *testing.T) {
+	ctrl := cc.NewVCABasic()
+	mps := make([]*core.Microprotocol, 4)
+	for i := range mps {
+		mps[i] = core.NewMicroprotocol(string(rune('a' + i)))
+	}
+	spec := core.Access(mps...)
+	avg := testing.AllocsPerRun(200, func() {
+		tok, err := ctrl.Spawn(spec)
+		if err != nil {
+			t.Error(err)
+		}
+		ctrl.RootReturned(tok)
+		ctrl.Complete(tok)
+	})
+	if avg > 2 {
+		t.Errorf("Access-spec Spawn+Complete: %.2f allocs/op, budget 2", avg)
+	}
+}

@@ -5,10 +5,12 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 // BenchmarkE1Fig1 runs one concurrent execution of Figure 1's external
@@ -181,6 +183,128 @@ func BenchmarkE9Transport(b *testing.B) {
 			if _, got, err := tr.Run(b.N, 256); err != nil || got < int64(b.N) {
 				b.Fatalf("got %d of %d (err %v)", got, b.N, err)
 			}
+		})
+	}
+}
+
+// BenchmarkTriggerSealed measures the sealed-stack synchronous dispatch
+// fast path: one admitted computation issuing nop Trigger calls. This is
+// the per-call framework overhead floor; the sealed path must stay at
+// 0 allocs/op.
+func BenchmarkTriggerSealed(b *testing.B) {
+	for _, name := range []string{"none", "vca-basic"} {
+		v, ok := bench.VariantByName(name)
+		if !ok {
+			b.Fatal("unknown variant")
+		}
+		b.Run(name, func(b *testing.B) {
+			st := core.NewStack(v.New())
+			mp := core.NewMicroprotocol("mp")
+			h := mp.AddHandler("h", func(*core.Context, core.Message) error { return nil })
+			st.Register(mp)
+			et := core.NewEventType("e")
+			st.Bind(et, h)
+			b.ReportAllocs()
+			err := st.Isolated(core.Access(mp), func(ctx *core.Context) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := ctx.Trigger(et, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// benchSnap is a trivial snapshotter so wait-die can run spawn-only
+// benchmarks (it snapshots lazily at Enter, never reached here).
+type benchSnap struct{}
+
+func (benchSnap) Snapshot() any { return nil }
+func (benchSnap) Restore(_ any) {}
+
+// BenchmarkSpawnComplete measures the controller-level cost of one empty
+// computation — Spawn, RootReturned, Complete — over a 4-microprotocol
+// spec. This isolates rule 1 + rule 3 bookkeeping from dispatch.
+func BenchmarkSpawnComplete(b *testing.B) {
+	for _, v := range bench.Variants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			mps := make([]*core.Microprotocol, 4)
+			hs := make([]*core.Handler, 4)
+			for i := range mps {
+				mps[i] = core.NewMicroprotocol(fmt.Sprintf("mp%d", i))
+				mps[i].SetSnapshotter(benchSnap{})
+				hs[i] = mps[i].AddHandler("h", func(*core.Context, core.Message) error { return nil })
+			}
+			var spec *core.Spec
+			switch v.Kind {
+			case "bound":
+				bounds := make(map[*core.Microprotocol]int, len(mps))
+				for _, mp := range mps {
+					bounds[mp] = 4
+				}
+				spec = core.AccessBound(bounds)
+			case "route":
+				g := core.NewRouteGraph().Root(hs...)
+				spec = core.Route(g)
+			default:
+				spec = core.Access(mps...)
+			}
+			ctrl := v.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok, err := ctrl.Spawn(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrl.RootReturned(tok)
+				ctrl.Complete(tok)
+			}
+		})
+	}
+}
+
+// BenchmarkContentionDisjoint measures GOMAXPROCS scaling of full
+// computations on disjoint microprotocol sets — framework-level
+// contention (spawn serialization, dispatch, wakeups) with zero
+// algorithmic conflicts. Run with -cpu 1,2,4,8 to see the scaling curve.
+func BenchmarkContentionDisjoint(b *testing.B) {
+	const lanes = 8
+	for _, name := range []string{"none", "vca-basic", "tso"} {
+		v, ok := bench.VariantByName(name)
+		if !ok {
+			b.Fatal("unknown variant")
+		}
+		b.Run(name, func(b *testing.B) {
+			st := core.NewStack(v.New())
+			ets := make([]*core.EventType, lanes)
+			specs := make([]*core.Spec, lanes)
+			for i := 0; i < lanes; i++ {
+				mp := core.NewMicroprotocol(fmt.Sprintf("mp%d", i))
+				h := mp.AddHandler("h", func(*core.Context, core.Message) error { return nil })
+				st.Register(mp)
+				ets[i] = core.NewEventType(fmt.Sprintf("e%d", i))
+				st.Bind(ets[i], h)
+				specs[i] = core.Access(mp)
+			}
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				lane := int(next.Add(1)-1) % lanes
+				for pb.Next() {
+					if err := st.External(specs[lane], ets[lane], nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

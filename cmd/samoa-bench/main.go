@@ -6,9 +6,11 @@
 //	samoa-bench               # run everything at full parameters
 //	samoa-bench -quick        # reduced parameters (CI-sized)
 //	samoa-bench -exp e1,e5    # run a subset
+//	samoa-bench -json         # also write BENCH_E<k>.json per experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameters")
 	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_E<k>.json (controller → metric → value)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -66,12 +69,35 @@ func main() {
 		tab := e.run()
 		tab.Note("wall time: %v", time.Since(start).Round(time.Millisecond))
 		tab.Fprint(os.Stdout)
+		if *jsonOut {
+			if err := writeJSON(tab); err != nil {
+				fmt.Fprintf(os.Stderr, "samoa-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e9 or all")
 		os.Exit(2)
 	}
+}
+
+// writeJSON records the experiment's table as BENCH_<ID>.json (e.g.
+// BENCH_E2.json), seeding the repo's machine-readable perf trajectory.
+func writeJSON(tab *bench.Table) error {
+	doc := map[string]any{
+		"id":      tab.ID,
+		"title":   tab.Title,
+		"results": tab.JSON(),
+		"notes":   tab.Notes,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", strings.ToUpper(tab.ID))
+	return os.WriteFile(name, append(data, '\n'), 0o644)
 }
 
 func pick(quick bool, q, f int) int {

@@ -8,8 +8,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -40,8 +42,9 @@ func Variants() []Variant {
 
 // Isolating returns the variants that enforce the isolation property.
 func Isolating() []Variant {
-	out := make([]Variant, 0, 7)
-	for _, v := range Variants() {
+	all := Variants()
+	out := make([]Variant, 0, len(all))
+	for _, v := range all {
 		if v.Name != "none" {
 			out = append(out, v)
 		}
@@ -52,8 +55,9 @@ func Isolating() []Variant {
 // PaperVariants returns the baselines plus the three paper algorithms —
 // the set most experiments compare.
 func PaperVariants() []Variant {
-	out := make([]Variant, 0, 5)
-	for _, v := range Variants() {
+	all := Variants()
+	out := make([]Variant, 0, len(all))
+	for _, v := range all {
 		switch v.Name {
 		case "none", "serial", "vca-basic", "vca-bound", "vca-route":
 			out = append(out, v)
@@ -87,6 +91,39 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 // Note appends a footnote.
 func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// JSON renders the table as row-key → metric → value, the
+// machine-readable shape behind samoa-bench -json: the first column is
+// the row key (usually the controller), the remaining header cells name
+// the metrics. Numeric cells become float64, duration cells become their
+// seconds as float64, and anything else stays a string, so downstream
+// tooling can diff perf trajectories without re-parsing table text.
+func (t *Table) JSON() map[string]map[string]any {
+	out := make(map[string]map[string]any, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		m := make(map[string]any, len(row)-1)
+		for i := 1; i < len(row) && i < len(t.Header); i++ {
+			m[t.Header[i]] = jsonCell(row[i])
+		}
+		out[row[0]] = m
+	}
+	return out
+}
+
+// jsonCell converts one rendered cell to its natural JSON value.
+func jsonCell(s string) any {
+	v := strings.TrimSpace(s)
+	if f, err := strconv.ParseFloat(strings.TrimSuffix(v, "%"), 64); err == nil {
+		return f
+	}
+	if d, err := time.ParseDuration(v); err == nil {
+		return d.Seconds()
+	}
+	return s
 }
 
 // Fprint renders the table.

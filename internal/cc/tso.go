@@ -30,9 +30,12 @@ type TSO struct {
 	waiting  []*tsoToken // ascending timestamps
 }
 
+// tsoToken reuses the spec's deduplicated, ID-sorted microprotocol slice;
+// declaration checks and conflict detection walk it directly instead of a
+// per-spawn map.
 type tsoToken struct {
 	ts  uint64
-	mps map[*core.Microprotocol]bool
+	mps []*core.Microprotocol // Spec.MPs(): sorted by ID, immutable
 }
 
 // NewTSO creates the conservative timestamp-ordering controller.
@@ -45,9 +48,26 @@ func NewTSO() *TSO {
 // Name implements core.Controller.
 func (c *TSO) Name() string { return "tso" }
 
+// conflicts reports whether the tokens share a declared microprotocol — a
+// merge-intersection of two ID-sorted slices.
 func (a *tsoToken) conflicts(b *tsoToken) bool {
-	for mp := range a.mps {
-		if b.mps[mp] {
+	i, j := 0, 0
+	for i < len(a.mps) && j < len(b.mps) {
+		switch {
+		case a.mps[i] == b.mps[j]:
+			return true
+		case a.mps[i].ID() < b.mps[j].ID():
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+func (a *tsoToken) declares(mp *core.Microprotocol) bool {
+	for _, m := range a.mps {
+		if m == mp {
 			return true
 		}
 	}
@@ -59,10 +79,7 @@ func (c *TSO) Spawn(spec *core.Spec) (core.Token, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextTS++
-	tok := &tsoToken{ts: c.nextTS, mps: make(map[*core.Microprotocol]bool, len(spec.MPs()))}
-	for _, mp := range spec.MPs() {
-		tok.mps[mp] = true
-	}
+	tok := &tsoToken{ts: c.nextTS, mps: spec.MPs()}
 	c.waiting = append(c.waiting, tok)
 	for !c.admissibleLocked(tok) {
 		c.cond.Wait()
@@ -93,7 +110,7 @@ func (c *TSO) admissibleLocked(tok *tsoToken) bool {
 
 // Request validates the declared set.
 func (c *TSO) Request(t core.Token, _, h *core.Handler) error {
-	if !t.(*tsoToken).mps[h.MP()] {
+	if !t.(*tsoToken).declares(h.MP()) {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
 	return nil

@@ -26,22 +26,22 @@ func NewVCABasic() *VCABasic { return &VCABasic{vt: newVersionTable()} }
 // Name implements core.Controller.
 func (c *VCABasic) Name() string { return "vca-basic" }
 
-type basicEntry struct {
-	st *mpState
-	pv uint64
-}
-
+// basicToken carries the computation's private versions, parallel to its
+// spec's compiled footprint.
 type basicToken struct {
-	entries map[*core.Microprotocol]*basicEntry
+	fp *footprint
+	pv []uint64
 }
 
-// Spawn implements rule 1.
+// Spawn implements rule 1: an array walk over the compiled footprint
+// under the table lock — two allocations, no map churn.
 func (c *VCABasic) Spawn(spec *core.Spec) (core.Token, error) {
-	t := &basicToken{entries: make(map[*core.Microprotocol]*basicEntry, len(spec.MPs()))}
+	fp := c.vt.footprint(spec)
+	t := &basicToken{fp: fp, pv: make([]uint64, len(fp.slots))}
 	c.vt.mu.Lock()
-	for _, mp := range spec.MPs() {
-		c.vt.gv[mp]++
-		t.entries[mp] = &basicEntry{st: c.vt.stateLocked(mp), pv: c.vt.gv[mp]}
+	for i, slot := range fp.slots {
+		c.vt.gv[slot]++
+		t.pv[i] = c.vt.gv[slot]
 	}
 	c.vt.mu.Unlock()
 	return t, nil
@@ -50,7 +50,7 @@ func (c *VCABasic) Spawn(spec *core.Spec) (core.Token, error) {
 // Request rejects calls to microprotocols outside the declared set M
 // (paper §4: an error is raised in the thread that issued the call).
 func (c *VCABasic) Request(t core.Token, _, h *core.Handler) error {
-	if t.(*basicToken).entries[h.MP()] == nil {
+	if t.(*basicToken).fp.pos(h.MP()) < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
 	return nil
@@ -58,11 +58,12 @@ func (c *VCABasic) Request(t core.Token, _, h *core.Handler) error {
 
 // Enter implements rule 2: block until the private version matches.
 func (c *VCABasic) Enter(t core.Token, _, h *core.Handler) error {
-	e := t.(*basicToken).entries[h.MP()]
-	if e == nil {
+	tok := t.(*basicToken)
+	i := tok.fp.pos(h.MP())
+	if i < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
-	e.st.wait(func(lv uint64) bool { return lv+1 >= e.pv })
+	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
 	return nil
 }
 
@@ -76,7 +77,8 @@ func (c *VCABasic) RootReturned(core.Token) {}
 // Complete implements rule 3: upgrade every declared microprotocol's local
 // version to the private version, in spawn order.
 func (c *VCABasic) Complete(t core.Token) {
-	for _, e := range t.(*basicToken).entries {
-		e.st.request(e.pv-1, e.pv)
+	tok := t.(*basicToken)
+	for i, st := range tok.fp.states {
+		st.request(tok.pv[i]-1, tok.pv[i])
 	}
 }

@@ -33,34 +33,39 @@ func NewVCABound() *VCABound { return &VCABound{vt: newVersionTable()} }
 // Name implements core.Controller.
 func (c *VCABound) Name() string { return "vca-bound" }
 
-type boundEntry struct {
-	st        *mpState
-	pv        uint64
-	bound     uint64
-	requested uint64 // visits consumed so far; guarded by boundToken.mu
-}
-
+// boundToken carries private versions and consumed visit counts, parallel
+// to the spec's compiled footprint.
 type boundToken struct {
-	mu      sync.Mutex
-	entries map[*core.Microprotocol]*boundEntry
+	mu        sync.Mutex
+	fp        *footprint
+	pv        []uint64
+	requested []uint64 // visits consumed so far; guarded by mu
 }
 
-// Spawn implements rule 1.
+// Spawn implements rule 1. The footprint is validated in full before any
+// counter moves, so an invalid spec cannot leave gv advanced with no
+// matching release.
 func (c *VCABound) Spawn(spec *core.Spec) (core.Token, error) {
 	if !spec.HasBounds() {
 		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no visit bounds; build it with core.AccessBound"}
 	}
-	t := &boundToken{entries: make(map[*core.Microprotocol]*boundEntry, len(spec.MPs()))}
-	c.vt.mu.Lock()
-	defer c.vt.mu.Unlock()
-	for _, mp := range spec.MPs() {
-		b, _ := spec.Bound(mp)
-		if b <= 0 {
-			return nil, &core.SpecError{Controller: c.Name(), Reason: "non-positive bound for microprotocol " + mp.Name()}
+	fp := c.vt.footprint(spec)
+	for i, b := range fp.bounds {
+		if b == 0 {
+			return nil, &core.SpecError{Controller: c.Name(), Reason: "non-positive bound for microprotocol " + fp.mps[i].Name()}
 		}
-		c.vt.gv[mp] += uint64(b)
-		t.entries[mp] = &boundEntry{st: c.vt.stateLocked(mp), pv: c.vt.gv[mp], bound: uint64(b)}
 	}
+	t := &boundToken{
+		fp:        fp,
+		pv:        make([]uint64, len(fp.slots)),
+		requested: make([]uint64, len(fp.slots)),
+	}
+	c.vt.mu.Lock()
+	for i, slot := range fp.slots {
+		c.vt.gv[slot] += fp.bounds[i]
+		t.pv[i] = c.vt.gv[slot]
+	}
+	c.vt.mu.Unlock()
 	return t, nil
 }
 
@@ -69,16 +74,16 @@ func (c *VCABound) Spawn(spec *core.Spec) (core.Token, error) {
 // will be thrown if the number is exhausted").
 func (c *VCABound) Request(t core.Token, _, h *core.Handler) error {
 	tok := t.(*boundToken)
-	e := tok.entries[h.MP()]
-	if e == nil {
+	i := tok.fp.pos(h.MP())
+	if i < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
 	tok.mu.Lock()
 	defer tok.mu.Unlock()
-	if e.requested >= e.bound {
-		return &core.BoundExhaustedError{MP: h.MP().Name(), Bound: int(e.bound)}
+	if tok.requested[i] >= tok.fp.bounds[i] {
+		return &core.BoundExhaustedError{MP: h.MP().Name(), Bound: int(tok.fp.bounds[i])}
 	}
-	e.requested++
+	tok.requested[i]++
 	return nil
 }
 
@@ -87,19 +92,21 @@ func (c *VCABound) Request(t core.Token, _, h *core.Handler) error {
 // unconsumed budget, because lv only passes pv−1 through this
 // computation's own rule-4 increments or its rule-3 completion.
 func (c *VCABound) Enter(t core.Token, _, h *core.Handler) error {
-	e := t.(*boundToken).entries[h.MP()]
-	if e == nil {
+	tok := t.(*boundToken)
+	i := tok.fp.pos(h.MP())
+	if i < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
-	e.st.wait(func(lv uint64) bool { return lv+e.bound >= e.pv })
+	tok.fp.states[i].waitAtLeast(tok.pv[i] - tok.fp.bounds[i])
 	return nil
 }
 
 // Exit implements rule 4: a completed handler execution bumps the local
 // version by one.
 func (c *VCABound) Exit(t core.Token, h *core.Handler) {
-	if e := t.(*boundToken).entries[h.MP()]; e != nil {
-		e.st.bump()
+	tok := t.(*boundToken)
+	if i := tok.fp.pos(h.MP()); i >= 0 {
+		tok.fp.states[i].bump()
 	}
 }
 
@@ -109,7 +116,7 @@ func (c *VCABound) RootReturned(core.Token) {}
 // Complete implements rule 3.
 func (c *VCABound) Complete(t core.Token) {
 	tok := t.(*boundToken)
-	for _, e := range tok.entries {
-		e.st.request(e.pv-e.bound, e.pv)
+	for i, st := range tok.fp.states {
+		st.request(tok.pv[i]-tok.fp.bounds[i], tok.pv[i])
 	}
 }

@@ -30,6 +30,10 @@ import (
 // A virtual ROOT vertex (edges to the graph's declared roots) models
 // "handlers to be called directly by expression e"; it stays active until
 // the root expression returns.
+//
+// The routing graph is compiled once per spec into dense vertex indices
+// (footprint.route); per-token state — presence, activity counts, BFS
+// scratch — is then plain slices over those indices.
 type VCARoute struct {
 	vt *versionTable
 }
@@ -41,46 +45,46 @@ func NewVCARoute() *VCARoute { return &VCARoute{vt: newVersionTable()} }
 // Name implements core.Controller.
 func (c *VCARoute) Name() string { return "vca-route" }
 
-type routeEntry struct {
-	st       *mpState
-	pv       uint64
-	released bool
-	vertices []*core.Handler // graph vertices belonging to this microprotocol
-}
-
 type routeToken struct {
 	mu         sync.Mutex
-	graph      *core.RouteGraph
-	entries    map[*core.Microprotocol]*routeEntry
-	present    map[*core.Handler]bool // vertices still in the graph
-	counts     map[*core.Handler]int  // pending + active executions
+	fp         *footprint
+	pv         []uint64
+	released   []bool  // by footprint position
+	present    []bool  // by vertex index: still in the graph
+	counts     []int32 // by vertex index: pending + active executions
 	rootActive bool
+
+	// BFS scratch, reused across routeExists/scanRelease calls; guarded
+	// by mu like everything else here.
+	seen  []bool
+	queue []int
 }
 
 // Spawn implements rule 1 of VCAbasic over the graph's microprotocols.
 func (c *VCARoute) Spawn(spec *core.Spec) (core.Token, error) {
-	g := spec.Graph()
-	if g == nil {
+	if spec.Graph() == nil {
 		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no routing graph; build it with core.Route"}
 	}
+	fp := c.vt.footprint(spec)
+	nv := len(fp.route.handlers)
 	t := &routeToken{
-		graph:      g,
-		entries:    make(map[*core.Microprotocol]*routeEntry, len(spec.MPs())),
-		present:    make(map[*core.Handler]bool),
-		counts:     make(map[*core.Handler]int),
+		fp:         fp,
+		pv:         make([]uint64, len(fp.slots)),
+		released:   make([]bool, len(fp.slots)),
+		present:    make([]bool, nv),
+		counts:     make([]int32, nv),
 		rootActive: true,
+		seen:       make([]bool, nv),
+	}
+	for v := range t.present {
+		t.present[v] = true
 	}
 	c.vt.mu.Lock()
-	for _, mp := range spec.MPs() {
-		c.vt.gv[mp]++
-		t.entries[mp] = &routeEntry{st: c.vt.stateLocked(mp), pv: c.vt.gv[mp]}
+	for i, slot := range fp.slots {
+		c.vt.gv[slot]++
+		t.pv[i] = c.vt.gv[slot]
 	}
 	c.vt.mu.Unlock()
-	for _, h := range g.Vertices() {
-		t.present[h] = true
-		e := t.entries[h.MP()]
-		e.vertices = append(e.vertices, h)
-	}
 	return t, nil
 }
 
@@ -90,60 +94,71 @@ func (c *VCARoute) Spawn(spec *core.Spec) (core.Token, error) {
 // as active for rule 4(b) from this moment.
 func (c *VCARoute) Request(t core.Token, caller, h *core.Handler) error {
 	tok := t.(*routeToken)
-	tok.mu.Lock()
-	defer tok.mu.Unlock()
-	if tok.entries[h.MP()] == nil {
+	r := tok.fp.route
+	if tok.fp.pos(h.MP()) < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
-	if !tok.present[h] {
-		// The vertex was declared but already removed by rule 4(b); a
-		// call now would break the release the algorithm performed.
+	v, inGraph := r.hpos[h]
+	tok.mu.Lock()
+	defer tok.mu.Unlock()
+	if !inGraph || !tok.present[v] {
+		// The vertex was never declared, or already removed by rule
+		// 4(b); a call now would break the release the algorithm
+		// performed.
 		return &core.NoRouteError{From: nameOf(caller), To: h.String()}
 	}
 	if caller == nil {
-		if !tok.graph.IsRoot(h) {
+		if !r.isRoot[v] {
 			return &core.NoRouteError{From: "", To: h.String()}
 		}
-	} else if !tok.routeExists(caller, h) {
-		return &core.NoRouteError{From: caller.String(), To: h.String()}
+	} else {
+		src, ok := r.hpos[caller]
+		if !ok || !tok.routeExistsLocked(src, v) {
+			return &core.NoRouteError{From: caller.String(), To: h.String()}
+		}
 	}
-	tok.counts[h]++
+	tok.counts[v]++
 	return nil
 }
 
-// routeExists reports whether a path from src to dst (length ≥ 1) exists
-// over the still-present vertices. Callers hold tok.mu.
-func (tok *routeToken) routeExists(src, dst *core.Handler) bool {
+// routeExistsLocked reports whether a path from src to dst (length ≥ 1)
+// exists over the still-present vertices. Callers hold tok.mu.
+func (tok *routeToken) routeExistsLocked(src, dst int) bool {
 	if !tok.present[src] {
 		return false
 	}
-	seen := map[*core.Handler]bool{}
-	queue := []*core.Handler{src}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		for _, succ := range tok.graph.Succs(x) {
+	r := tok.fp.route
+	seen := tok.seen
+	for i := range seen {
+		seen[i] = false
+	}
+	queue := append(tok.queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		for _, succ := range r.succs[queue[head]] {
 			if !tok.present[succ] || seen[succ] {
 				continue
 			}
 			if succ == dst {
+				tok.queue = queue[:0]
 				return true
 			}
 			seen[succ] = true
 			queue = append(queue, succ)
 		}
 	}
+	tok.queue = queue[:0]
 	return false
 }
 
 // Enter implements the versioning part of rule 2 (condition (1) of
 // VCAbasic).
 func (c *VCARoute) Enter(t core.Token, _, h *core.Handler) error {
-	e := t.(*routeToken).entries[h.MP()]
-	if e == nil {
+	tok := t.(*routeToken)
+	i := tok.fp.pos(h.MP())
+	if i < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
-	e.st.wait(func(lv uint64) bool { return lv+1 >= e.pv })
+	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
 	return nil
 }
 
@@ -151,8 +166,12 @@ func (c *VCARoute) Enter(t core.Token, _, h *core.Handler) error {
 // microprotocol left with only inactive, unreachable handlers is released.
 func (c *VCARoute) Exit(t core.Token, h *core.Handler) {
 	tok := t.(*routeToken)
+	v, ok := tok.fp.route.hpos[h]
+	if !ok {
+		return
+	}
 	tok.mu.Lock()
-	tok.counts[h]--
+	tok.counts[v]--
 	tok.scanReleaseLocked()
 	tok.mu.Unlock()
 }
@@ -173,10 +192,10 @@ func (c *VCARoute) RootReturned(t core.Token) {
 func (c *VCARoute) Complete(t core.Token) {
 	tok := t.(*routeToken)
 	tok.mu.Lock()
-	for _, e := range tok.entries {
-		if !e.released {
-			e.released = true
-			e.st.request(e.pv-1, e.pv)
+	for i := range tok.released {
+		if !tok.released[i] {
+			tok.released[i] = true
+			tok.fp.states[i].request(tok.pv[i]-1, tok.pv[i])
 		}
 	}
 	tok.mu.Unlock()
@@ -187,39 +206,42 @@ func (c *VCARoute) Complete(t core.Token) {
 // over present vertices, then release every unreleased microprotocol none
 // of whose present vertices is in that set. Callers hold tok.mu.
 func (tok *routeToken) scanReleaseLocked() {
-	busy := map[*core.Handler]bool{}
-	var queue []*core.Handler
-	for h, n := range tok.counts {
-		if n > 0 && tok.present[h] && !busy[h] {
-			busy[h] = true
-			queue = append(queue, h)
+	r := tok.fp.route
+	busy := tok.seen
+	for i := range busy {
+		busy[i] = false
+	}
+	queue := tok.queue[:0]
+	for v := range tok.counts {
+		if tok.counts[v] > 0 && tok.present[v] {
+			busy[v] = true
+			queue = append(queue, v)
 		}
 	}
 	if tok.rootActive {
-		for _, h := range tok.graph.Vertices() {
-			if tok.graph.IsRoot(h) && tok.present[h] && !busy[h] {
-				busy[h] = true
-				queue = append(queue, h)
+		for v := range r.isRoot {
+			if r.isRoot[v] && tok.present[v] && !busy[v] {
+				busy[v] = true
+				queue = append(queue, v)
 			}
 		}
 	}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		for _, succ := range tok.graph.Succs(x) {
+	for head := 0; head < len(queue); head++ {
+		for _, succ := range r.succs[queue[head]] {
 			if tok.present[succ] && !busy[succ] {
 				busy[succ] = true
 				queue = append(queue, succ)
 			}
 		}
 	}
-	for _, e := range tok.entries {
-		if e.released {
+	tok.queue = queue[:0]
+	for p := range tok.released {
+		if tok.released[p] {
 			continue
 		}
 		inUse := false
-		for _, h := range e.vertices {
-			if tok.present[h] && busy[h] {
+		for _, v := range r.mpVerts[p] {
+			if tok.present[v] && busy[v] {
 				inUse = true
 				break
 			}
@@ -227,11 +249,11 @@ func (tok *routeToken) scanReleaseLocked() {
 		if inUse {
 			continue
 		}
-		for _, h := range e.vertices {
-			delete(tok.present, h)
+		for _, v := range r.mpVerts[p] {
+			tok.present[v] = false
 		}
-		e.released = true
-		e.st.request(e.pv-1, e.pv)
+		tok.released[p] = true
+		tok.fp.states[p].request(tok.pv[p]-1, tok.pv[p])
 	}
 }
 

@@ -24,12 +24,14 @@ import (
 //
 // A reader computation that calls a non-read-only handler gets a
 // ReadOnlyViolationError in the calling thread — the annotation is
-// enforced, not trusted.
+// enforced, not trusted. Whether a spec reads or writes each
+// microprotocol is spec-static, so it is computed once at footprint
+// compilation, not per spawn.
 type VCARW struct {
 	vt *versionTable
 
 	mu sync.Mutex // guards rw (group bookkeeping); nests inside vt.mu ordering: always take vt.mu first or alone
-	rw map[*core.Microprotocol]*rwState
+	rw []*rwState // by dense slot; grown under both locks in Spawn
 }
 
 type rwState struct {
@@ -40,20 +42,17 @@ type rwState struct {
 
 // NewVCARW creates the read/write-aware versioning controller.
 func NewVCARW() *VCARW {
-	return &VCARW{vt: newVersionTable(), rw: make(map[*core.Microprotocol]*rwState)}
+	return &VCARW{vt: newVersionTable()}
 }
 
 // Name implements core.Controller.
 func (c *VCARW) Name() string { return "vca-rw" }
 
-type rwEntry struct {
-	st     *mpState
-	pv     uint64
-	reader bool
-}
-
+// rwToken carries private versions parallel to the spec's compiled
+// footprint; reader-ness comes from the footprint itself.
 type rwToken struct {
-	entries map[*core.Microprotocol]*rwEntry
+	fp *footprint
+	pv []uint64
 }
 
 // readerOf reports whether a computation with this spec can only read mp:
@@ -86,42 +85,46 @@ func readerOf(spec *core.Spec, mp *core.Microprotocol) bool {
 
 // Spawn implements rule 1 with reader-group sharing.
 func (c *VCARW) Spawn(spec *core.Spec) (core.Token, error) {
-	t := &rwToken{entries: make(map[*core.Microprotocol]*rwEntry, len(spec.MPs()))}
+	fp := c.vt.footprint(spec)
+	t := &rwToken{fp: fp, pv: make([]uint64, len(fp.slots))}
 	c.vt.mu.Lock()
 	defer c.vt.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, mp := range spec.MPs() {
-		st := c.vt.stateLocked(mp)
-		ro := readerOf(spec, mp)
-		rw := c.rw[mp]
+	for i, slot := range fp.slots {
+		for len(c.rw) <= slot {
+			c.rw = append(c.rw, nil)
+		}
+		rw := c.rw[slot]
 		if rw == nil {
 			rw = &rwState{refs: make(map[uint64]int)}
-			c.rw[mp] = rw
+			c.rw[slot] = rw
 		}
+		ro := fp.reader[i]
 		var pv uint64
 		if ro && rw.lastRO && rw.refs[rw.lastVer] > 0 {
 			pv = rw.lastVer // join the open reader group
 			rw.refs[pv]++
 		} else {
-			c.vt.gv[mp]++
-			pv = c.vt.gv[mp]
+			c.vt.gv[slot]++
+			pv = c.vt.gv[slot]
 			rw.lastVer = pv
 			rw.lastRO = ro
 			rw.refs[pv] = 1
 		}
-		t.entries[mp] = &rwEntry{st: st, pv: pv, reader: ro}
+		t.pv[i] = pv
 	}
 	return t, nil
 }
 
 // Request validates declaration and enforces the read-only annotation.
 func (c *VCARW) Request(t core.Token, _, h *core.Handler) error {
-	e := t.(*rwToken).entries[h.MP()]
-	if e == nil {
+	tok := t.(*rwToken)
+	i := tok.fp.pos(h.MP())
+	if i < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
-	if e.reader && !h.IsReadOnly() {
+	if tok.fp.reader[i] && !h.IsReadOnly() {
 		return &core.ReadOnlyViolationError{MP: h.MP().Name(), Handler: h.Name()}
 	}
 	return nil
@@ -130,11 +133,12 @@ func (c *VCARW) Request(t core.Token, _, h *core.Handler) error {
 // Enter implements rule 2; every member of a reader group satisfies it
 // simultaneously, since they share the private version.
 func (c *VCARW) Enter(t core.Token, _, h *core.Handler) error {
-	e := t.(*rwToken).entries[h.MP()]
-	if e == nil {
+	tok := t.(*rwToken)
+	i := tok.fp.pos(h.MP())
+	if i < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
-	e.st.wait(func(lv uint64) bool { return lv+1 >= e.pv })
+	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
 	return nil
 }
 
@@ -147,17 +151,19 @@ func (c *VCARW) RootReturned(core.Token) {}
 // Complete implements rule 3; a reader group's upgrade fires when its last
 // member completes.
 func (c *VCARW) Complete(t core.Token) {
-	for mp, e := range t.(*rwToken).entries {
+	tok := t.(*rwToken)
+	for i, slot := range tok.fp.slots {
+		pv := tok.pv[i]
 		c.mu.Lock()
-		rw := c.rw[mp]
-		rw.refs[e.pv]--
-		last := rw.refs[e.pv] == 0
+		rw := c.rw[slot]
+		rw.refs[pv]--
+		last := rw.refs[pv] == 0
 		if last {
-			delete(rw.refs, e.pv)
+			delete(rw.refs, pv)
 		}
 		c.mu.Unlock()
 		if last {
-			e.st.request(e.pv-1, e.pv)
+			tok.fp.states[i].request(pv-1, pv)
 		}
 	}
 }

@@ -3,27 +3,35 @@ package cc
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
 // mpState is the per-microprotocol versioning state shared by the VCA*
-// controllers: the local version counter lv of the paper, a condition
-// variable for computations waiting to enter, and a queue of deferred
-// release requests.
+// controllers: the local version counter lv of the paper, an ordered
+// queue of parked waiters, and a queue of deferred release requests.
 //
 // The paper's rules 3/4 read "wait until (1)/(2) is true, then upgrade the
-// local version". Parking a goroutine per pending upgrade would be
-// wasteful; instead a release request (minLv, target) is queued and
-// applied — in ascending order — whenever lv changes and reaches minLv.
-// Because minLv values derive from the atomically-ordered global counter
-// increments of rule 1, applications happen exactly in spawn order, which
-// is the correctness condition of the paper's proofs.
+// local version". Two mechanisms keep that cheap:
+//
+//   - Deferred releases: a release request (minLv, target) is queued and
+//     applied — in ascending order — whenever lv changes and reaches
+//     minLv. Because minLv values derive from the atomically-ordered
+//     global counter increments of rule 1, applications happen exactly in
+//     spawn order, which is the correctness condition of the paper's
+//     proofs.
+//   - Targeted wakeups: every admission predicate used by the algorithms
+//     has the shape "lv >= threshold", so waiters park on an ordered
+//     queue keyed by the threshold they need. When lv advances, exactly
+//     the now-admissible prefix is woken; when an update leaves lv
+//     unchanged, nobody is signalled. The admission fast path reads lv
+//     atomically and never takes the mutex.
 type mpState struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
-	lv      uint64
-	pending []release // sorted by minLv ascending
+	lv      atomic.Uint64 // written only under mu; read lock-free by waitAtLeast
+	pending []release     // sorted by minLv ascending
+	waiters []*waiter     // sorted by min ascending; FIFO among equal thresholds
 }
 
 // release asks for lv to be raised to target once lv >= minLv. Targets
@@ -33,28 +41,46 @@ type release struct {
 	target uint64
 }
 
-func newMPState() *mpState {
-	st := &mpState{}
-	st.cond = sync.NewCond(&st.mu)
-	return st
+// waiter is one parked computation thread. Its channel carries exactly
+// one wakeup; waiters are pooled, so the channel is buffered and drained
+// by the waker/waiter pair before reuse.
+type waiter struct {
+	min uint64
+	ch  chan struct{}
 }
 
-// wait blocks until pred holds for the local version.
-func (st *mpState) wait(pred func(lv uint64) bool) {
-	st.mu.Lock()
-	for !pred(st.lv) {
-		st.cond.Wait()
+var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan struct{}, 1)} }}
+
+func newMPState() *mpState { return &mpState{} }
+
+// waitAtLeast blocks until lv >= min. The fast path is a single atomic
+// load; the slow path parks the caller on the ordered wait queue.
+func (st *mpState) waitAtLeast(min uint64) {
+	if st.lv.Load() >= min {
+		return
 	}
+	st.mu.Lock()
+	if st.lv.Load() >= min {
+		st.mu.Unlock()
+		return
+	}
+	w := waiterPool.Get().(*waiter)
+	w.min = min
+	i := sort.Search(len(st.waiters), func(i int) bool { return st.waiters[i].min > min })
+	st.waiters = append(st.waiters, nil)
+	copy(st.waiters[i+1:], st.waiters[i:])
+	st.waiters[i] = w
 	st.mu.Unlock()
+	<-w.ch
+	waiterPool.Put(w)
 }
 
 // bump increments lv by one (rule 4 of VCAbound: a handler execution
-// completed) and applies any releases that became due.
+// completed), applies any releases that became due, and wakes the
+// now-admissible waiters.
 func (st *mpState) bump() {
 	st.mu.Lock()
-	st.lv++
-	st.applyLocked()
-	st.cond.Broadcast()
+	st.advanceLocked(st.lv.Load() + 1)
 	st.mu.Unlock()
 }
 
@@ -65,50 +91,188 @@ func (st *mpState) request(minLv, target uint64) {
 	st.pending = append(st.pending, release{})
 	copy(st.pending[i+1:], st.pending[i:])
 	st.pending[i] = release{minLv: minLv, target: target}
-	st.applyLocked()
-	st.cond.Broadcast()
+	st.advanceLocked(st.lv.Load())
 	st.mu.Unlock()
 }
 
-func (st *mpState) applyLocked() {
-	for len(st.pending) > 0 && st.lv >= st.pending[0].minLv {
-		if t := st.pending[0].target; t > st.lv {
-			st.lv = t
+// advanceLocked raises lv to newLv, drains the due prefix of the pending
+// queue (cascading releases), and — only if lv actually changed — wakes
+// exactly the waiters whose thresholds are now satisfied. Callers hold
+// st.mu.
+func (st *mpState) advanceLocked(newLv uint64) {
+	lv := st.lv.Load()
+	if newLv > lv {
+		lv = newLv
+	}
+	d := 0
+	for d < len(st.pending) && lv >= st.pending[d].minLv {
+		if t := st.pending[d].target; t > lv {
+			lv = t
 		}
-		st.pending = st.pending[1:]
+		d++
+	}
+	if d > 0 {
+		// Copy-down instead of reslicing off the front, so the backing
+		// array (and its capacity) is reused by later requests.
+		m := copy(st.pending, st.pending[d:])
+		st.pending = st.pending[:m]
+	}
+	if lv == st.lv.Load() {
+		return // nothing changed: skip signalling entirely
+	}
+	st.lv.Store(lv)
+	n := 0
+	for n < len(st.waiters) && st.waiters[n].min <= lv {
+		st.waiters[n].ch <- struct{}{}
+		n++
+	}
+	if n > 0 {
+		m := copy(st.waiters, st.waiters[n:])
+		for i := m; i < len(st.waiters); i++ {
+			st.waiters[i] = nil
+		}
+		st.waiters = st.waiters[:m]
 	}
 }
 
 // localVersion reports lv (for tests and introspection).
-func (st *mpState) localVersion() uint64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.lv
-}
+func (st *mpState) localVersion() uint64 { return st.lv.Load() }
 
-// versionTable owns the global version counters gv and the mpState of
-// every microprotocol a controller has seen. Its mutex also serializes
-// spawns, making rule 1's multi-counter increment atomic and totally
-// ordering computations.
+// versionTable owns the dense microprotocol index, the global version
+// counters gv, and the mpState of every microprotocol a controller has
+// seen. Its mutex serializes spawns, making rule 1's multi-counter
+// increment atomic and totally ordering computations.
+//
+// Microprotocols get controller-local dense slots on first sight, so the
+// per-spawn work is an array walk over a compiled footprint rather than
+// pointer-keyed map churn.
 type versionTable struct {
 	mu     sync.Mutex
-	gv     map[*core.Microprotocol]uint64
-	states map[*core.Microprotocol]*mpState
+	index  map[*core.Microprotocol]int // mp → dense slot; grows under mu
+	gv     []uint64                    // by dense slot
+	states []*mpState                  // by dense slot; pointers are stable
+
+	footprints sync.Map // *core.Spec → *footprint, compiled once per spec
 }
 
 func newVersionTable() *versionTable {
-	return &versionTable{
-		gv:     make(map[*core.Microprotocol]uint64),
-		states: make(map[*core.Microprotocol]*mpState),
-	}
+	return &versionTable{index: make(map[*core.Microprotocol]int)}
 }
 
-// stateLocked returns (creating if needed) mp's state. Callers hold vt.mu.
-func (vt *versionTable) stateLocked(mp *core.Microprotocol) *mpState {
-	st := vt.states[mp]
-	if st == nil {
-		st = newMPState()
-		vt.states[mp] = st
+// slotLocked returns mp's dense slot, assigning the next one on first
+// sight. Callers hold vt.mu.
+func (vt *versionTable) slotLocked(mp *core.Microprotocol) int {
+	if i, ok := vt.index[mp]; ok {
+		return i
 	}
-	return st
+	i := len(vt.gv)
+	vt.index[mp] = i
+	vt.gv = append(vt.gv, 0)
+	vt.states = append(vt.states, newMPState())
+	return i
+}
+
+// footprint is a Spec compiled against one versionTable: for each
+// declared microprotocol, in Spec.MPs() order, its dense slot, resolved
+// mpState, visit bound (0 when the spec carries none), and whether the
+// spec can only read it. Route specs additionally carry a compiled
+// vertex-indexed view of the routing graph. A footprint is immutable
+// once published; Spawn reuses it for every computation of the spec.
+type footprint struct {
+	mps    []*core.Microprotocol
+	slots  []int
+	states []*mpState
+	bounds []uint64
+	reader []bool
+
+	route *routeInfo // nil for non-route specs
+}
+
+// pos returns mp's position in the footprint, or -1. Specs are small, so
+// a linear scan beats hashing.
+func (fp *footprint) pos(mp *core.Microprotocol) int {
+	for i, m := range fp.mps {
+		if m == mp {
+			return i
+		}
+	}
+	return -1
+}
+
+// routeInfo is the dense compilation of a RouteGraph: vertices are
+// numbered, edges become index adjacency lists, and each vertex knows the
+// footprint position of its microprotocol. hpos is read-only after
+// compilation, so concurrent lookups need no lock.
+type routeInfo struct {
+	handlers []*core.Handler
+	hpos     map[*core.Handler]int
+	succs    [][]int
+	isRoot   []bool
+	mpOf     []int   // vertex → footprint position of its microprotocol
+	mpVerts  [][]int // footprint position → vertex indices
+}
+
+// footprint returns (compiling on first use) spec's footprint.
+func (vt *versionTable) footprint(spec *core.Spec) *footprint {
+	if fp, ok := vt.footprints.Load(spec); ok {
+		return fp.(*footprint)
+	}
+	fp := vt.compile(spec)
+	actual, _ := vt.footprints.LoadOrStore(spec, fp)
+	return actual.(*footprint)
+}
+
+func (vt *versionTable) compile(spec *core.Spec) *footprint {
+	mps := spec.MPs()
+	fp := &footprint{
+		mps:    mps,
+		slots:  make([]int, len(mps)),
+		states: make([]*mpState, len(mps)),
+		bounds: make([]uint64, len(mps)),
+		reader: make([]bool, len(mps)),
+	}
+	vt.mu.Lock()
+	for i, mp := range mps {
+		slot := vt.slotLocked(mp)
+		fp.slots[i] = slot
+		fp.states[i] = vt.states[slot]
+	}
+	vt.mu.Unlock()
+	for i, mp := range mps {
+		if b, ok := spec.Bound(mp); ok && b > 0 {
+			fp.bounds[i] = uint64(b)
+		}
+		fp.reader[i] = readerOf(spec, mp)
+	}
+	if g := spec.Graph(); g != nil {
+		fp.route = compileRoute(g, fp)
+	}
+	return fp
+}
+
+func compileRoute(g *core.RouteGraph, fp *footprint) *routeInfo {
+	vs := g.Vertices()
+	r := &routeInfo{
+		handlers: vs,
+		hpos:     make(map[*core.Handler]int, len(vs)),
+		succs:    make([][]int, len(vs)),
+		isRoot:   make([]bool, len(vs)),
+		mpOf:     make([]int, len(vs)),
+		mpVerts:  make([][]int, len(fp.mps)),
+	}
+	for i, h := range vs {
+		r.hpos[h] = i
+	}
+	for i, h := range vs {
+		r.isRoot[i] = g.IsRoot(h)
+		p := fp.pos(h.MP())
+		r.mpOf[i] = p
+		if p >= 0 {
+			r.mpVerts[p] = append(r.mpVerts[p], i)
+		}
+		for _, succ := range g.Succs(h) {
+			r.succs[i] = append(r.succs[i], r.hpos[succ])
+		}
+	}
+	return r
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/core"
 )
 
 // White-box tests for the deferred-release version machinery shared by the
@@ -19,8 +21,8 @@ func TestMPStateBumpAndWait(t *testing.T) {
 	if st.localVersion() != 2 {
 		t.Fatalf("lv = %d", st.localVersion())
 	}
-	// wait returns immediately once the predicate holds.
-	st.wait(func(lv uint64) bool { return lv >= 2 })
+	// waitAtLeast returns immediately once the threshold is reached.
+	st.waitAtLeast(2)
 }
 
 func TestMPStateReleaseImmediate(t *testing.T) {
@@ -75,10 +77,75 @@ func TestMPStateWaitWakesOnRelease(t *testing.T) {
 	st := newMPState()
 	done := make(chan struct{})
 	go func() {
-		st.wait(func(lv uint64) bool { return lv >= 4 })
+		st.waitAtLeast(4)
 		close(done)
 	}()
 	st.request(0, 4)
+	<-done
+}
+
+// TestMPStateTargetedWakeup: a release wakes exactly the waiters whose
+// thresholds it satisfies; higher-threshold waiters stay parked.
+func TestMPStateTargetedWakeup(t *testing.T) {
+	st := newMPState()
+	low := make(chan struct{})
+	high := make(chan struct{})
+	go func() {
+		st.waitAtLeast(1)
+		close(low)
+	}()
+	go func() {
+		st.waitAtLeast(10)
+		close(high)
+	}()
+	// Wait until both goroutines are actually parked.
+	for {
+		st.mu.Lock()
+		n := len(st.waiters)
+		st.mu.Unlock()
+		if n == 2 {
+			break
+		}
+	}
+	st.bump() // lv=1: admits only the low-threshold waiter
+	<-low
+	select {
+	case <-high:
+		t.Fatal("high-threshold waiter woken below its threshold")
+	default:
+	}
+	st.request(1, 10) // lv jumps to 10: admits the rest
+	<-high
+}
+
+// TestMPStateNoChangeNoSignal: a request that leaves lv unchanged must
+// not disturb the wait queue.
+func TestMPStateNoChangeNoSignal(t *testing.T) {
+	st := newMPState()
+	st.request(0, 3)
+	parked := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(parked)
+		st.waitAtLeast(5)
+		close(done)
+	}()
+	<-parked
+	for {
+		st.mu.Lock()
+		n := len(st.waiters)
+		st.mu.Unlock()
+		if n == 1 {
+			break
+		}
+	}
+	st.request(0, 2) // stale: lv stays 3
+	select {
+	case <-done:
+		t.Fatal("waiter woken although lv did not change")
+	default:
+	}
+	st.request(3, 5)
 	<-done
 }
 
@@ -135,13 +202,51 @@ func TestMPStateConcurrentBumpers(t *testing.T) {
 	}
 }
 
-func TestVersionTableLazyStates(t *testing.T) {
+func TestVersionTableDenseSlots(t *testing.T) {
 	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	q := core.NewMicroprotocol("q")
 	vt.mu.Lock()
-	// Use distinct keys; nil microprotocol pointers suffice for identity
-	// — but create real ones to mirror usage.
-	defer vt.mu.Unlock()
-	if len(vt.states) != 0 {
-		t.Fatal("fresh table must be empty")
+	sp := vt.slotLocked(p)
+	sq := vt.slotLocked(q)
+	again := vt.slotLocked(p)
+	vt.mu.Unlock()
+	if sp != 0 || sq != 1 || again != sp {
+		t.Fatalf("slots = %d, %d, %d; want 0, 1, 0", sp, sq, again)
+	}
+	if len(vt.gv) != 2 || len(vt.states) != 2 {
+		t.Fatalf("table sized %d/%d, want 2/2", len(vt.gv), len(vt.states))
+	}
+	if vt.states[sp] == nil || vt.states[sp] == vt.states[sq] {
+		t.Fatal("states must be distinct and non-nil")
+	}
+}
+
+// TestFootprintCompiledOnce: repeated spawns of one spec reuse the same
+// compiled footprint, and its arrays mirror the spec.
+func TestFootprintCompiledOnce(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	q := core.NewMicroprotocol("q")
+	spec := core.AccessBound(map[*core.Microprotocol]int{p: 2, q: 3})
+	fp1 := vt.footprint(spec)
+	fp2 := vt.footprint(spec)
+	if fp1 != fp2 {
+		t.Fatal("footprint must be compiled once per spec")
+	}
+	if len(fp1.mps) != 2 || len(fp1.slots) != 2 || len(fp1.states) != 2 {
+		t.Fatalf("footprint arrays sized %d/%d/%d", len(fp1.mps), len(fp1.slots), len(fp1.states))
+	}
+	for i, mp := range fp1.mps {
+		if fp1.pos(mp) != i {
+			t.Fatalf("pos(%s) = %d, want %d", mp.Name(), fp1.pos(mp), i)
+		}
+		want, _ := spec.Bound(mp)
+		if fp1.bounds[i] != uint64(want) {
+			t.Fatalf("bounds[%d] = %d, want %d", i, fp1.bounds[i], want)
+		}
+	}
+	if fp1.pos(core.NewMicroprotocol("other")) != -1 {
+		t.Fatal("pos of undeclared microprotocol must be -1")
 	}
 }

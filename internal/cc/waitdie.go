@@ -67,19 +67,33 @@ func (c *WaitDie) Aborts() uint64 {
 	return c.aborts
 }
 
+// wdToken keeps the declared set as the spec's ID-sorted slice; held
+// locks and snapshots live in slices parallel to it.
 type wdToken struct {
 	ts      uint64
 	attempt int
-	mps     map[*core.Microprotocol]bool
-	held    map[*core.Microprotocol]bool // guarded by WaitDie.mu
-	snaps   map[*core.Microprotocol]any  // guarded by WaitDie.mu
-	aborted bool                         // guarded by WaitDie.mu
+	mps     []*core.Microprotocol // Spec.MPs(): sorted by ID, immutable
+	held    []bool                // parallel to mps; guarded by WaitDie.mu
+	snapped []bool                // parallel to mps; guarded by WaitDie.mu
+	snaps   []any                 // parallel to mps; guarded by WaitDie.mu
+	aborted bool                  // guarded by WaitDie.mu
+}
+
+// pos returns mp's position in the declared set, or -1.
+func (t *wdToken) pos(mp *core.Microprotocol) int {
+	for i, m := range t.mps {
+		if m == mp {
+			return i
+		}
+	}
+	return -1
 }
 
 // Spawn validates that every declared microprotocol is snapshottable and
 // assigns the computation's timestamp.
 func (c *WaitDie) Spawn(spec *core.Spec) (core.Token, error) {
-	for _, mp := range spec.MPs() {
+	mps := spec.MPs()
+	for _, mp := range mps {
 		if mp.Snapshotter() == nil {
 			return nil, &core.SpecError{
 				Controller: c.Name(),
@@ -90,22 +104,19 @@ func (c *WaitDie) Spawn(spec *core.Spec) (core.Token, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextTS++
-	t := &wdToken{
-		ts:    c.nextTS,
-		mps:   make(map[*core.Microprotocol]bool, len(spec.MPs())),
-		held:  make(map[*core.Microprotocol]bool),
-		snaps: make(map[*core.Microprotocol]any),
-	}
-	for _, mp := range spec.MPs() {
-		t.mps[mp] = true
-	}
-	return t, nil
+	return &wdToken{
+		ts:      c.nextTS,
+		mps:     mps,
+		held:    make([]bool, len(mps)),
+		snapped: make([]bool, len(mps)),
+		snaps:   make([]any, len(mps)),
+	}, nil
 }
 
 // Request validates the declared set.
 func (c *WaitDie) Request(t core.Token, _, h *core.Handler) error {
 	tok := t.(*wdToken)
-	if !tok.mps[h.MP()] {
+	if tok.pos(h.MP()) < 0 {
 		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
 	}
 	return nil
@@ -119,6 +130,10 @@ func (c *WaitDie) Request(t core.Token, _, h *core.Handler) error {
 func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
 	tok := t.(*wdToken)
 	mp := h.MP()
+	i := tok.pos(mp)
+	if i < 0 {
+		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -128,7 +143,7 @@ func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
 			// sibling thread aborted us in the meantime, pass the lock
 			// on rather than stranding it.
 			if tok.aborted {
-				delete(tok.held, mp)
+				tok.held[i] = false
 				c.grantNextLocked(mp)
 				return core.ErrComputationAborted
 			}
@@ -165,9 +180,11 @@ func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
 // hold c.mu.
 func (c *WaitDie) acquireLocked(mp *core.Microprotocol, tok *wdToken) {
 	c.locks[mp] = tok
-	tok.held[mp] = true
-	if _, ok := tok.snaps[mp]; !ok {
-		tok.snaps[mp] = mp.Snapshotter().Snapshot()
+	i := tok.pos(mp)
+	tok.held[i] = true
+	if !tok.snapped[i] {
+		tok.snapped[i] = true
+		tok.snaps[i] = mp.Snapshotter().Snapshot()
 	}
 }
 
@@ -217,8 +234,10 @@ func (c *WaitDie) Complete(t core.Token) {
 func (c *WaitDie) PrepareRetry(t core.Token) (core.Token, bool) {
 	tok := t.(*wdToken)
 	c.mu.Lock()
-	for mp, snap := range tok.snaps {
-		mp.Snapshotter().Restore(snap)
+	for i, mp := range tok.mps {
+		if tok.snapped[i] {
+			mp.Snapshotter().Restore(tok.snaps[i])
+		}
 	}
 	c.releaseLocked(tok)
 	c.mu.Unlock()
@@ -231,19 +250,20 @@ func (c *WaitDie) PrepareRetry(t core.Token) (core.Token, bool) {
 		ts:      tok.ts,
 		attempt: tok.attempt + 1,
 		mps:     tok.mps,
-		held:    make(map[*core.Microprotocol]bool),
-		snaps:   make(map[*core.Microprotocol]any),
+		held:    make([]bool, len(tok.mps)),
+		snapped: make([]bool, len(tok.mps)),
+		snaps:   make([]any, len(tok.mps)),
 	}, true
 }
 
 // releaseLocked drops tok's locks, handing each to its oldest waiter.
 // Callers hold c.mu.
 func (c *WaitDie) releaseLocked(tok *wdToken) {
-	for mp := range tok.held {
-		if c.locks[mp] == tok {
+	for i, mp := range tok.mps {
+		if tok.held[i] && c.locks[mp] == tok {
 			c.grantNextLocked(mp)
 		}
+		tok.held[i] = false
 	}
-	tok.held = make(map[*core.Microprotocol]bool)
 	c.cond.Broadcast()
 }

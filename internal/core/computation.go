@@ -13,6 +13,10 @@ type Computation struct {
 	token Token
 	spec  *Spec
 
+	// rootInv is the root expression's invocation, embedded so spawning
+	// a computation does not allocate it separately.
+	rootInv invocation
+
 	// wg counts asynchronous handler executions; forks are counted by
 	// their spawning invocation instead, because a handler's Exit must
 	// wait for the threads the handler itself spawned (rule 4 of

@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // Context is passed to every handler execution and to the computation's
 // root expression. It issues events and forks computation threads. A
@@ -38,7 +41,7 @@ func (c *Context) Trigger(et *EventType, msg Message) error {
 // order — the paper's "triggerAll". All bound handlers run even if an
 // earlier one fails; the joined errors are returned.
 func (c *Context) TriggerAll(et *EventType, msg Message) error {
-	hs := c.comp.stack.Bound(et)
+	hs := c.comp.stack.handlers(et)
 	var errs []error
 	for _, h := range hs {
 		if err := c.comp.stack.callSync(c.comp, c.inv, et, h, msg); err != nil {
@@ -65,7 +68,7 @@ func (c *Context) AsyncTrigger(et *EventType, msg Message) error {
 // to et — the paper's "asyncTriggerAll". Each handler runs in its own
 // computation thread.
 func (c *Context) AsyncTriggerAll(et *EventType, msg Message) error {
-	hs := c.comp.stack.Bound(et)
+	hs := c.comp.stack.handlers(et)
 	var errs []error
 	for _, h := range hs {
 		if err := c.comp.stack.callAsync(c.comp, c.inv, et, h, msg); err != nil {
@@ -89,7 +92,7 @@ func (c *Context) Fork(fn func(ctx *Context) error) {
 }
 
 func (c *Context) single(et *EventType) (*Handler, error) {
-	hs := c.comp.stack.Bound(et)
+	hs := c.comp.stack.handlers(et)
 	switch len(hs) {
 	case 0:
 		return nil, &UnboundError{Event: et.Name()}
@@ -99,6 +102,18 @@ func (c *Context) single(et *EventType) (*Handler, error) {
 		return nil, &AmbiguousError{Event: et.Name(), N: len(hs)}
 	}
 }
+
+// frame bundles the Context and invocation of one synchronous handler
+// execution. Frames are pooled so the sealed Trigger fast path performs
+// no allocations; reuse is safe because a Context is documented to be
+// invalid once its invocation returns, and runHandler waits for every
+// thread the handler forked before recycling the frame.
+type frame struct {
+	ctx Context
+	inv invocation
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
 
 // callSync executes one handler call synchronously in the current thread.
 func (s *Stack) callSync(comp *Computation, caller *invocation, et *EventType, h *Handler, msg Message) error {
@@ -138,13 +153,19 @@ func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, 
 // runHandler runs one admitted handler execution: trace start, run the
 // body, wait for the handler's forks, trace end, release via Exit.
 func (s *Stack) runHandler(comp *Computation, et *EventType, h *Handler, msg Message) error {
-	inv := &invocation{handler: h}
+	f := framePool.Get().(*frame)
+	f.inv.handler = h
+	f.ctx.comp = comp
+	f.ctx.inv = &f.inv
 	invID := s.invSeq.Add(1)
 	s.tracer.HandlerStart(comp.id, invID, et, h)
-	err := h.fn(&Context{comp: comp, inv: inv}, msg)
-	inv.forks.Wait()
+	err := h.fn(&f.ctx, msg)
+	f.inv.forks.Wait()
 	s.tracer.HandlerEnd(comp.id, invID, h)
 	s.ctrl.Exit(comp.token, h)
+	f.inv.handler = nil
+	f.ctx = Context{}
+	framePool.Put(f)
 	if err != nil {
 		comp.record(err)
 	}

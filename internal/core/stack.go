@@ -12,20 +12,29 @@ import (
 // every handler call to its Controller.
 //
 // A stack is built in two phases. First, Register microprotocols and Bind
-// event types to handlers; this phase is single-threaded. The first
-// Isolated call seals the stack; afterwards bindings are immutable (the
-// paper's static-binding assumption) except through Rebind, which only
-// succeeds while no computation is active.
+// event types to handlers; this phase is single-threaded and guarded by
+// mu. The first Isolated call seals the stack and publishes an immutable
+// binding snapshot through an atomic pointer; afterwards dispatch
+// (Trigger, TriggerAll, Bound) is lock-free and allocation-free — readers
+// only dereference the snapshot. Bindings are immutable after sealing
+// (the paper's static-binding assumption) except through Rebind, which
+// only succeeds while no computation is active and republishes a fresh
+// snapshot (copy-on-write; in-flight readers keep the old table).
 type Stack struct {
 	name   string
 	ctrl   Controller
 	tracer Tracer
 
-	mu       sync.RWMutex // guards bindings, mps, sealed, active
+	mu       sync.Mutex // guards bindings and mps during the build phase and Rebind
 	bindings map[*EventType][]*Handler
 	mps      map[string]*Microprotocol
-	sealed   bool
-	active   int
+
+	// snap is the published immutable binding table; nil until sealed.
+	// Handler slices reachable from a published snapshot are never
+	// mutated — Rebind builds a new table and swaps the pointer.
+	snap   atomic.Pointer[map[*EventType][]*Handler]
+	sealed atomic.Bool
+	active atomic.Int64 // computations between Isolated entry and return
 
 	compSeq atomic.Uint64
 	invSeq  atomic.Uint64
@@ -74,7 +83,7 @@ func (s *Stack) Controller() Controller { return s.ctrl }
 func (s *Stack) Register(mps ...*Microprotocol) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.sealed {
+	if s.sealed.Load() {
 		panic("samoa: Register after stack sealed")
 	}
 	for _, mp := range mps {
@@ -91,8 +100,8 @@ func (s *Stack) Register(mps ...*Microprotocol) {
 
 // MP returns the registered microprotocol with the given name, or nil.
 func (s *Stack) MP(name string) *Microprotocol {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.mps[name]
 }
 
@@ -102,7 +111,7 @@ func (s *Stack) MP(name string) *Microprotocol {
 func (s *Stack) Bind(et *EventType, hs ...*Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.sealed {
+	if s.sealed.Load() {
 		panic(fmt.Sprintf("samoa: Bind %q after stack sealed (use Rebind)", et.Name()))
 	}
 	s.bindLocked(et, hs)
@@ -112,14 +121,18 @@ func (s *Stack) Bind(et *EventType, hs ...*Handler) {
 // paper's future-work dynamic-binding extension under the paper's own
 // restriction: handlers "cannot be (re)bound inside any computation", so
 // Rebind fails with ErrActiveComputations unless the stack is quiescent.
+// On success the new binding table is republished atomically.
 func (s *Stack) Rebind(et *EventType, hs ...*Handler) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.active > 0 {
+	if s.active.Load() > 0 {
 		return ErrActiveComputations
 	}
 	delete(s.bindings, et)
 	s.bindLocked(et, hs)
+	if s.sealed.Load() {
+		s.publishLocked()
+	}
 	return nil
 }
 
@@ -132,21 +145,53 @@ func (s *Stack) bindLocked(et *EventType, hs []*Handler) {
 	}
 }
 
+// publishLocked snapshots the binding table into a fresh immutable map
+// and swaps it in for lock-free dispatch. Callers hold s.mu.
+func (s *Stack) publishLocked() {
+	snap := make(map[*EventType][]*Handler, len(s.bindings))
+	for et, hs := range s.bindings {
+		out := make([]*Handler, len(hs))
+		copy(out, hs)
+		snap[et] = out
+	}
+	s.snap.Store(&snap)
+}
+
+// seal publishes the binding snapshot on the first computation. After it
+// returns, s.snap is non-nil and dispatch never touches s.mu again.
+func (s *Stack) seal() {
+	if s.sealed.Load() {
+		return
+	}
+	s.mu.Lock()
+	if !s.sealed.Load() {
+		s.publishLocked()
+		s.sealed.Store(true)
+	}
+	s.mu.Unlock()
+}
+
+// handlers returns the binding slice for et without copying. Post-seal
+// this is a lock-free read of the published snapshot; the result is
+// immutable and must not be modified.
+func (s *Stack) handlers(et *EventType) []*Handler {
+	if snap := s.snap.Load(); snap != nil {
+		return (*snap)[et]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bindings[et]
+}
+
 // Bound returns the handlers currently bound to et, in bind order.
 func (s *Stack) Bound(et *EventType) []*Handler {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	hs := s.bindings[et]
+	hs := s.handlers(et)
 	out := make([]*Handler, len(hs))
 	copy(out, hs)
 	return out
 }
 
-func (s *Stack) isSealed() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sealed
-}
+func (s *Stack) isSealed() bool { return s.sealed.Load() }
 
 // Isolated spawns a new computation — the Go rendering of the paper's
 // "isolated M e" — and runs root as its root expression. The spec declares
@@ -164,15 +209,9 @@ func (s *Stack) isSealed() bool {
 // handlers it reaches then run more than once, so their effects must be
 // confined to microprotocol state the controller can restore.
 func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
-	s.mu.Lock()
-	s.sealed = true
-	s.active++
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.active--
-		s.mu.Unlock()
-	}()
+	s.seal()
+	s.active.Add(1)
+	defer s.active.Add(-1)
 
 	var retryToken Token
 	for {
@@ -191,11 +230,10 @@ func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
 		}
 		s.tracer.Spawned(comp.id, spec)
 
-		rootInv := &invocation{}
 		if root != nil {
-			comp.record(root(&Context{comp: comp, inv: rootInv}))
+			comp.record(root(&Context{comp: comp, inv: &comp.rootInv}))
 		}
-		rootInv.forks.Wait()
+		comp.rootInv.forks.Wait()
 		s.ctrl.RootReturned(token)
 		comp.wg.Wait()
 
