@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-core eval eval-quick eval-json fuzz examples clean
+.PHONY: all build vet test race bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep examples clean
 
 all: build vet test
 
@@ -44,6 +44,25 @@ eval-json:
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzReaderNeverPanics -fuzztime 20s
 	$(GO) test ./internal/gc -fuzz FuzzDecodeMessages -fuzztime 20s
+
+# What CI runs on every push: 30 seconds over every fuzz target,
+# including the trace checker vs its brute-force serial-orders oracle.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReaderNeverPanics -fuzztime 30s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzRoundTrip -fuzztime 30s
+	$(GO) test ./internal/gc -run '^$$' -fuzz FuzzDecodeMessages -fuzztime 30s
+	$(GO) test ./internal/gc -run '^$$' -fuzz FuzzSiteSurvivesGarbageDatagrams -fuzztime 30s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzChecker -fuzztime 30s
+
+# Deterministic schedule exploration (internal/sched). `explore` is the
+# quick pass: random walk + PCT + shallow DFS over every isolating
+# controller, plus the None negative control. `explore-deep` is the
+# nightly-CI search: bounded DFS with a much larger depth and run budget.
+explore:
+	$(GO) test ./internal/cctest -run 'TestExplore' -v
+
+explore-deep:
+	EXPLORE_DEEP=1 $(GO) test ./internal/cctest -run TestExploreDeep -v -timeout 30m
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -18,8 +18,13 @@ import (
 // snapshot, the handler frame comes from a pool, and vca-basic admission
 // is a lock-free atomic check. The budget is 0; the < 0.5 tolerance only
 // absorbs a GC emptying the frame pool mid-run.
+//
+// Since the deterministic-scheduler work these budgets also pin the
+// hooks-compiled-in-but-inactive path: every yield point in core and
+// every blocking point in cc carries a nil-hook / default-blocker
+// branch, and none of them may cost an allocation.
 func TestTriggerSealedAllocBudget(t *testing.T) {
-	for _, name := range []string{"none", "vca-basic"} {
+	for _, name := range []string{"none", "serial", "vca-basic", "vca-bound"} {
 		t.Run(name, func(t *testing.T) {
 			v, ok := bench.VariantByName(name)
 			if !ok {
@@ -31,7 +36,13 @@ func TestTriggerSealedAllocBudget(t *testing.T) {
 			st.Register(mp)
 			et := core.NewEventType("e")
 			st.Bind(et, h)
-			err := st.Isolated(core.Access(mp), func(ctx *core.Context) error {
+			spec := core.Access(mp)
+			if name == "vca-bound" {
+				// A huge bound keeps Request from exhausting the visit
+				// budget across the measured iterations.
+				spec = core.AccessBound(map[*core.Microprotocol]int{mp: 1 << 20})
+			}
+			err := st.Isolated(spec, func(ctx *core.Context) error {
 				avg := testing.AllocsPerRun(200, func() {
 					if err := ctx.Trigger(et, nil); err != nil {
 						t.Error(err)
@@ -53,7 +64,9 @@ func TestTriggerSealedAllocBudget(t *testing.T) {
 // controller lifecycle (Spawn + RootReturned + Complete) under vca-basic
 // stays at its compiled-footprint budget: one token and one private
 // version slice — 2 allocations, independent of how many microprotocols
-// the spec declares.
+// the spec declares. The Blocker indirection added for deterministic
+// scheduling must not move this number: the default blocker's pooled
+// waiters are only touched when a computation actually parks.
 func TestSpawnCompleteAllocBudget(t *testing.T) {
 	ctrl := cc.NewVCABasic()
 	mps := make([]*core.Microprotocol, 4)

@@ -1,5 +1,5 @@
 // Command samoa-bench runs the repository's evaluation — experiments
-// E1–E9 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
+// E1–E10 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameters")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_E<k>.json (controller → metric → value)")
 	flag.Parse()
 
@@ -59,6 +59,9 @@ func main() {
 		{"e9", func() *bench.Table {
 			return bench.E9Transport(pick(*quick, 50, 200), 256)
 		}},
+		{"e10", func() *bench.Table {
+			return bench.E10SchedOverhead(pick(*quick, 200, 2000), 16)
+		}},
 	}
 	ran := 0
 	for _, e := range full {
@@ -78,7 +81,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e9 or all")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e10 or all")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// E10SchedOverhead is the deterministic-scheduler overhead guard. Two
+// numbers per controller:
+//
+//   - ns/call native: the production hot path, with the scheduler hook
+//     compiled into core but inactive (nil). This must track E2 — the
+//     hook's cost when unused is one predicted-not-taken branch per
+//     yield point, and the alloc budgets in alloc_test.go pin it at
+//     zero allocations.
+//   - ns/call explored: the same workload with every computation thread,
+//     block point, and dispatch step routed through a virtual scheduler
+//     under a seeded random walk. This is the price of one explored
+//     execution, paid only in tests (it includes per-execution fixture
+//     construction, as exploration rebuilds the workload each run).
+func E10SchedOverhead(comps, callsPerComp int) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("deterministic-scheduler overhead (%d computations × %d calls)", comps, callsPerComp),
+		Header: []string{"controller", "ns/call native", "ns/call explored", "tax"},
+	}
+	for _, v := range Variants() {
+		w := NewCallWorkload(v, callsPerComp)
+		for i := 0; i < 50; i++ {
+			if err := w.RunComputation(); err != nil {
+				panic(fmt.Sprintf("E10 %s: %v", v.Name, err))
+			}
+		}
+		start := time.Now()
+		for i := 0; i < comps; i++ {
+			if err := w.RunComputation(); err != nil {
+				panic(fmt.Sprintf("E10 %s: %v", v.Name, err))
+			}
+		}
+		nativeNs := float64(time.Since(start).Nanoseconds()) / float64(comps*callsPerComp)
+
+		start = time.Now()
+		res := sched.Explore(sched.Options{
+			Strategy: sched.NewRandomWalk(1),
+			Runs:     comps,
+		}, func(s *sched.Scheduler) sched.RunSpec {
+			ew := newCallWorkload(v, callsPerComp, s)
+			var err error
+			return sched.RunSpec{
+				Body:  func() { s.Go(func() { err = ew.RunComputation() }) },
+				Check: func() error { return err },
+			}
+		})
+		if res.Violation != nil {
+			panic(fmt.Sprintf("E10 %s: %v", v.Name, res.Violation))
+		}
+		exploredNs := float64(time.Since(start).Nanoseconds()) / float64(comps*callsPerComp)
+		t.AddRow(v.Name,
+			fmt.Sprintf("%.0f", nativeNs),
+			fmt.Sprintf("%.0f", exploredNs),
+			fmt.Sprintf("%.1fx", exploredNs/nativeNs))
+	}
+	t.Note("native must track E2 (the inactive hook is one branch per yield point); the explored tax is paid only under exploration")
+	return t
+}

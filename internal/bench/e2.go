@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // CallWorkload is the E2 micro-benchmark fixture: one microprotocol with
@@ -23,8 +24,22 @@ type CallWorkload struct {
 // NewCallWorkload builds the fixture for a variant with the given number
 // of handler calls per computation.
 func NewCallWorkload(v Variant, callsPerComp int) *CallWorkload {
+	return newCallWorkload(v, callsPerComp, nil)
+}
+
+// newCallWorkload optionally routes the stack and controller through a
+// deterministic scheduler (E10 measures the cost of doing so).
+func newCallWorkload(v Variant, callsPerComp int, s *sched.Scheduler) *CallWorkload {
 	w := &CallWorkload{calls: callsPerComp}
-	w.stack = core.NewStack(v.New())
+	ctrl := v.New()
+	var opts []core.StackOption
+	if s != nil {
+		if sc, ok := ctrl.(sched.Schedulable); ok {
+			sc.SetBlocker(s)
+		}
+		opts = append(opts, core.WithHook(s))
+	}
+	w.stack = core.NewStack(ctrl, opts...)
 	mp := core.NewMicroprotocol("mp")
 	mp.SetSnapshotter(nopSnapshot{}) // lets rollback controllers run too
 	h := mp.AddHandler("h", func(*core.Context, core.Message) error { return nil })

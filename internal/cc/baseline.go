@@ -1,24 +1,43 @@
 package cc
 
-import "repro/internal/core"
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
 
 // Serial is the Appia baseline (paper §§1–2): computations never overlap.
 // Spawn blocks until the previous computation completes, so every run is
 // serial — trivially isolated, with no internal concurrency across
 // computations.
 type Serial struct {
-	sem chan struct{}
+	mu   sync.Mutex
+	note *notifier
+	busy bool
 }
 
 // NewSerial creates the serial (Appia-model) controller.
-func NewSerial() *Serial { return &Serial{sem: make(chan struct{}, 1)} }
+func NewSerial() *Serial { return &Serial{note: newNotifier()} }
 
 // Name implements core.Controller.
 func (c *Serial) Name() string { return "serial" }
 
+// SetBlocker implements sched.Schedulable.
+func (c *Serial) SetBlocker(b sched.Blocker) {
+	c.mu.Lock()
+	c.note.blk = b
+	c.mu.Unlock()
+}
+
 // Spawn blocks until the stack is quiescent, then admits the computation.
 func (c *Serial) Spawn(*core.Spec) (core.Token, error) {
-	c.sem <- struct{}{}
+	c.mu.Lock()
+	for c.busy {
+		c.note.waitLocked(&c.mu)
+	}
+	c.busy = true
+	c.mu.Unlock()
 	return nil, nil
 }
 
@@ -35,7 +54,12 @@ func (c *Serial) Exit(core.Token, *core.Handler) {}
 func (c *Serial) RootReturned(core.Token) {}
 
 // Complete releases the stack for the next computation.
-func (c *Serial) Complete(core.Token) { <-c.sem }
+func (c *Serial) Complete(core.Token) {
+	c.mu.Lock()
+	c.busy = false
+	c.note.broadcastLocked()
+	c.mu.Unlock()
+}
 
 // None is the Cactus baseline (paper §§1–2): the runtime imposes no
 // synchronisation at all; any interleaving of computations may occur, and

@@ -1,0 +1,46 @@
+package cc
+
+import (
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// notifier replaces sync.Cond in controllers whose blocking must be
+// visible to a deterministic scheduler. Semantics match the cond idiom
+// the controllers used before:
+//
+//	n.waitLocked(&mu)   ≈ cond.Wait()   — unlocks mu, parks, relocks
+//	n.broadcastLocked() ≈ cond.Broadcast() (call with mu held)
+//
+// Each wait parks on a fresh one-shot Waiter from the Blocker, so under
+// sched.DefaultBlocker this costs the same pooled channel operations as
+// before, while under a *sched.Scheduler every wait is a virtual park
+// the exploration strategies can order.
+type notifier struct {
+	blk sched.Blocker
+	ws  []sched.Waiter
+}
+
+func newNotifier() *notifier { return &notifier{blk: sched.DefaultBlocker()} }
+
+// waitLocked atomically releases mu and parks until the next broadcast,
+// then reacquires mu. Spurious wakeups do not occur, but callers keep
+// their predicate loops (another thread can win the race after wakeup).
+func (n *notifier) waitLocked(mu *sync.Mutex) {
+	w := n.blk.NewWaiter()
+	n.ws = append(n.ws, w)
+	mu.Unlock()
+	w.Park()
+	mu.Lock()
+}
+
+// broadcastLocked wakes every parked thread. The controller's mutex must
+// be held, which orders the wake set against concurrent waitLocked calls.
+func (n *notifier) broadcastLocked() {
+	for i, w := range n.ws {
+		w.Wake()
+		n.ws[i] = nil
+	}
+	n.ws = n.ws[:0]
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // TSO is a conservative timestamp-ordering scheduler — a representative of
@@ -23,7 +24,7 @@ import (
 // against the versioning algorithms.
 type TSO struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
+	note   *notifier
 	nextTS uint64
 
 	admitted map[*tsoToken]bool
@@ -40,13 +41,18 @@ type tsoToken struct {
 
 // NewTSO creates the conservative timestamp-ordering controller.
 func NewTSO() *TSO {
-	t := &TSO{admitted: make(map[*tsoToken]bool)}
-	t.cond = sync.NewCond(&t.mu)
-	return t
+	return &TSO{admitted: make(map[*tsoToken]bool), note: newNotifier()}
 }
 
 // Name implements core.Controller.
 func (c *TSO) Name() string { return "tso" }
+
+// SetBlocker implements sched.Schedulable.
+func (c *TSO) SetBlocker(b sched.Blocker) {
+	c.mu.Lock()
+	c.note.blk = b
+	c.mu.Unlock()
+}
 
 // conflicts reports whether the tokens share a declared microprotocol — a
 // merge-intersection of two ID-sorted slices.
@@ -82,7 +88,7 @@ func (c *TSO) Spawn(spec *core.Spec) (core.Token, error) {
 	tok := &tsoToken{ts: c.nextTS, mps: spec.MPs()}
 	c.waiting = append(c.waiting, tok)
 	for !c.admissibleLocked(tok) {
-		c.cond.Wait()
+		c.note.waitLocked(&c.mu)
 	}
 	for i, w := range c.waiting {
 		if w == tok {
@@ -129,6 +135,6 @@ func (c *TSO) RootReturned(core.Token) {}
 func (c *TSO) Complete(t core.Token) {
 	c.mu.Lock()
 	delete(c.admitted, t.(*tsoToken))
-	c.cond.Broadcast()
+	c.note.broadcastLocked()
 	c.mu.Unlock()
 }

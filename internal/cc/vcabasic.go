@@ -1,6 +1,9 @@
 package cc
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
 
 // VCABasic is the Basic Version-Counting Algorithm of paper §5.1,
 // implementing the plain "isolated M e" construct.
@@ -25,6 +28,9 @@ func NewVCABasic() *VCABasic { return &VCABasic{vt: newVersionTable()} }
 
 // Name implements core.Controller.
 func (c *VCABasic) Name() string { return "vca-basic" }
+
+// SetBlocker implements sched.Schedulable.
+func (c *VCABasic) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
 // basicToken carries the computation's private versions, parallel to its
 // spec's compiled footprint.

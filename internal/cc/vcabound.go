@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // VCABound is the Version-Counting with Least-Upper-Bound Algorithm of
@@ -32,6 +33,9 @@ func NewVCABound() *VCABound { return &VCABound{vt: newVersionTable()} }
 
 // Name implements core.Controller.
 func (c *VCABound) Name() string { return "vca-bound" }
+
+// SetBlocker implements sched.Schedulable.
+func (c *VCABound) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
 // boundToken carries private versions and consumed visit counts, parallel
 // to the spec's compiled footprint.

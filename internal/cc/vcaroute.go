@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // VCARoute is the Version-Counting with Routing Pattern Algorithm of paper
@@ -44,6 +45,9 @@ func NewVCARoute() *VCARoute { return &VCARoute{vt: newVersionTable()} }
 
 // Name implements core.Controller.
 func (c *VCARoute) Name() string { return "vca-route" }
+
+// SetBlocker implements sched.Schedulable.
+func (c *VCARoute) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
 type routeToken struct {
 	mu         sync.Mutex

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // VCARW implements the paper's §7 future-work extension: "introduce
@@ -47,6 +48,9 @@ func NewVCARW() *VCARW {
 
 // Name implements core.Controller.
 func (c *VCARW) Name() string { return "vca-rw" }
+
+// SetBlocker implements sched.Schedulable.
+func (c *VCARW) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
 // rwToken carries private versions parallel to the spec's compiled
 // footprint; reader-ness comes from the footprint itself.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // mpState is the per-microprotocol versioning state shared by the VCA*
@@ -28,10 +29,11 @@ import (
 //     unchanged, nobody is signalled. The admission fast path reads lv
 //     atomically and never takes the mutex.
 type mpState struct {
+	blk     sched.Blocker
 	mu      sync.Mutex
 	lv      atomic.Uint64 // written only under mu; read lock-free by waitAtLeast
 	pending []release     // sorted by minLv ascending
-	waiters []*waiter     // sorted by min ascending; FIFO among equal thresholds
+	waiters []waitEntry   // sorted by min ascending; FIFO among equal thresholds
 }
 
 // release asks for lv to be raised to target once lv >= minLv. Targets
@@ -41,17 +43,16 @@ type release struct {
 	target uint64
 }
 
-// waiter is one parked computation thread. Its channel carries exactly
-// one wakeup; waiters are pooled, so the channel is buffered and drained
-// by the waker/waiter pair before reuse.
-type waiter struct {
+// waitEntry is one parked computation thread: the lv threshold it needs
+// and the one-shot waiter it parked on. The waiter comes from the
+// state's Blocker — pooled channels in production, virtual scheduler
+// park points under deterministic exploration.
+type waitEntry struct {
 	min uint64
-	ch  chan struct{}
+	w   sched.Waiter
 }
 
-var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan struct{}, 1)} }}
-
-func newMPState() *mpState { return &mpState{} }
+func newMPState(blk sched.Blocker) *mpState { return &mpState{blk: blk} }
 
 // waitAtLeast blocks until lv >= min. The fast path is a single atomic
 // load; the slow path parks the caller on the ordered wait queue.
@@ -64,15 +65,13 @@ func (st *mpState) waitAtLeast(min uint64) {
 		st.mu.Unlock()
 		return
 	}
-	w := waiterPool.Get().(*waiter)
-	w.min = min
+	w := st.blk.NewWaiter()
 	i := sort.Search(len(st.waiters), func(i int) bool { return st.waiters[i].min > min })
-	st.waiters = append(st.waiters, nil)
+	st.waiters = append(st.waiters, waitEntry{})
 	copy(st.waiters[i+1:], st.waiters[i:])
-	st.waiters[i] = w
+	st.waiters[i] = waitEntry{min: min, w: w}
 	st.mu.Unlock()
-	<-w.ch
-	waiterPool.Put(w)
+	w.Park()
 }
 
 // bump increments lv by one (rule 4 of VCAbound: a handler execution
@@ -123,13 +122,13 @@ func (st *mpState) advanceLocked(newLv uint64) {
 	st.lv.Store(lv)
 	n := 0
 	for n < len(st.waiters) && st.waiters[n].min <= lv {
-		st.waiters[n].ch <- struct{}{}
+		st.waiters[n].w.Wake()
 		n++
 	}
 	if n > 0 {
 		m := copy(st.waiters, st.waiters[n:])
 		for i := m; i < len(st.waiters); i++ {
-			st.waiters[i] = nil
+			st.waiters[i] = waitEntry{}
 		}
 		st.waiters = st.waiters[:m]
 	}
@@ -147,6 +146,7 @@ func (st *mpState) localVersion() uint64 { return st.lv.Load() }
 // per-spawn work is an array walk over a compiled footprint rather than
 // pointer-keyed map churn.
 type versionTable struct {
+	blk    sched.Blocker
 	mu     sync.Mutex
 	index  map[*core.Microprotocol]int // mp → dense slot; grows under mu
 	gv     []uint64                    // by dense slot
@@ -156,7 +156,21 @@ type versionTable struct {
 }
 
 func newVersionTable() *versionTable {
-	return &versionTable{index: make(map[*core.Microprotocol]int)}
+	return &versionTable{
+		blk:   sched.DefaultBlocker(),
+		index: make(map[*core.Microprotocol]int),
+	}
+}
+
+// setBlocker routes every park/wake point through blk. Must be called
+// before the controller admits its first computation.
+func (vt *versionTable) setBlocker(blk sched.Blocker) {
+	vt.mu.Lock()
+	vt.blk = blk
+	for _, st := range vt.states {
+		st.blk = blk
+	}
+	vt.mu.Unlock()
 }
 
 // slotLocked returns mp's dense slot, assigning the next one on first
@@ -168,7 +182,7 @@ func (vt *versionTable) slotLocked(mp *core.Microprotocol) int {
 	i := len(vt.gv)
 	vt.index[mp] = i
 	vt.gv = append(vt.gv, 0)
-	vt.states = append(vt.states, newMPState())
+	vt.states = append(vt.states, newMPState(vt.blk))
 	return i
 }
 

@@ -6,13 +6,14 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // White-box tests for the deferred-release version machinery shared by the
 // VCA* controllers.
 
 func TestMPStateBumpAndWait(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	if st.localVersion() != 0 {
 		t.Fatal("initial lv must be 0")
 	}
@@ -26,7 +27,7 @@ func TestMPStateBumpAndWait(t *testing.T) {
 }
 
 func TestMPStateReleaseImmediate(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	st.request(0, 3) // lv(0) >= minLv(0): apply now
 	if got := st.localVersion(); got != 3 {
 		t.Fatalf("lv = %d, want 3", got)
@@ -34,7 +35,7 @@ func TestMPStateReleaseImmediate(t *testing.T) {
 }
 
 func TestMPStateReleaseDeferredUntilDue(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	st.request(2, 5) // not due: lv=0 < 2
 	if got := st.localVersion(); got != 0 {
 		t.Fatalf("lv = %d, want 0 (release deferred)", got)
@@ -50,7 +51,7 @@ func TestMPStateReleaseDeferredUntilDue(t *testing.T) {
 }
 
 func TestMPStateReleasesApplyInVersionOrder(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	// Three computations completing out of spawn order: the queue must
 	// chain them 0→1→2→3 regardless of request order.
 	st.request(2, 3) // k3
@@ -65,7 +66,7 @@ func TestMPStateReleasesApplyInVersionOrder(t *testing.T) {
 }
 
 func TestMPStateNeverDowngrades(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	st.request(0, 5)
 	st.request(0, 2) // stale target below current lv: must be dropped
 	if got := st.localVersion(); got != 5 {
@@ -74,7 +75,7 @@ func TestMPStateNeverDowngrades(t *testing.T) {
 }
 
 func TestMPStateWaitWakesOnRelease(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	done := make(chan struct{})
 	go func() {
 		st.waitAtLeast(4)
@@ -87,7 +88,7 @@ func TestMPStateWaitWakesOnRelease(t *testing.T) {
 // TestMPStateTargetedWakeup: a release wakes exactly the waiters whose
 // thresholds it satisfies; higher-threshold waiters stay parked.
 func TestMPStateTargetedWakeup(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	low := make(chan struct{})
 	high := make(chan struct{})
 	go func() {
@@ -121,7 +122,7 @@ func TestMPStateTargetedWakeup(t *testing.T) {
 // TestMPStateNoChangeNoSignal: a request that leaves lv unchanged must
 // not disturb the wait queue.
 func TestMPStateNoChangeNoSignal(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	st.request(0, 3)
 	parked := make(chan struct{})
 	done := make(chan struct{})
@@ -166,7 +167,7 @@ func TestMPStateCascadeProperty(t *testing.T) {
 			j := abs(v) % (i + 1)
 			order[i], order[j] = order[j], order[i]
 		}
-		st := newMPState()
+		st := newMPState(sched.DefaultBlocker())
 		for _, i := range order {
 			st.request(uint64(i), uint64(i+1))
 		}
@@ -185,7 +186,7 @@ func abs(v int) int {
 }
 
 func TestMPStateConcurrentBumpers(t *testing.T) {
-	st := newMPState()
+	st := newMPState(sched.DefaultBlocker())
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // WaitDie is a representative of the paper's *second* algorithm group —
@@ -39,25 +40,37 @@ import (
 // this controller.
 type WaitDie struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
+	note    *notifier
 	nextTS  uint64
 	locks   map[*core.Microprotocol]*wdToken
 	waiters map[*core.Microprotocol]map[*wdToken]bool
 	aborts  uint64
+	backoff bool // real time.Sleep backoff between retries (off under sched)
 }
 
 // NewWaitDie creates the wait–die rollback controller.
 func NewWaitDie() *WaitDie {
-	c := &WaitDie{
+	return &WaitDie{
+		note:    newNotifier(),
 		locks:   make(map[*core.Microprotocol]*wdToken),
 		waiters: make(map[*core.Microprotocol]map[*wdToken]bool),
+		backoff: true,
 	}
-	c.cond = sync.NewCond(&c.mu)
-	return c
 }
 
 // Name implements core.Controller.
 func (c *WaitDie) Name() string { return "wait-die" }
+
+// SetBlocker implements sched.Schedulable. It also disables the
+// wall-clock retry backoff: under a virtual scheduler, sleeping conveys
+// no ordering (the retry loop's fairness comes from the strategy), and
+// real delays would only slow exploration down.
+func (c *WaitDie) SetBlocker(b sched.Blocker) {
+	c.mu.Lock()
+	c.note.blk = b
+	c.backoff = false
+	c.mu.Unlock()
+}
 
 // Aborts reports the total number of aborts so far (for the E8
 // experiment).
@@ -77,6 +90,7 @@ type wdToken struct {
 	snapped []bool                // parallel to mps; guarded by WaitDie.mu
 	snaps   []any                 // parallel to mps; guarded by WaitDie.mu
 	aborted bool                  // guarded by WaitDie.mu
+	diedOn  *core.Microprotocol   // lock whose holder killed us; guarded by WaitDie.mu
 }
 
 // pos returns mp's position in the declared set, or -1.
@@ -166,10 +180,11 @@ func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
 				c.waiters[mp] = w
 			}
 			w[tok] = true
-			c.cond.Wait()
+			c.note.waitLocked(&c.mu)
 		default:
 			// Younger dies: roll back and retry with the same ts.
 			tok.aborted = true
+			tok.diedOn = mp
 			c.aborts++
 			return core.ErrComputationAborted
 		}
@@ -208,7 +223,7 @@ func (c *WaitDie) grantNextLocked(mp *core.Microprotocol) {
 		delete(c.waiters[mp], oldest)
 		c.acquireLocked(mp, oldest)
 	}
-	c.cond.Broadcast()
+	c.note.broadcastLocked()
 }
 
 // Exit implements core.Controller; locks are held to completion.
@@ -240,12 +255,30 @@ func (c *WaitDie) PrepareRetry(t core.Token) (core.Token, bool) {
 		}
 	}
 	c.releaseLocked(tok)
-	c.mu.Unlock()
-	backoff := time.Duration(tok.attempt+1) * 200 * time.Microsecond
-	if backoff > 10*time.Millisecond {
-		backoff = 10 * time.Millisecond
+	useBackoff := c.backoff
+	if !useBackoff {
+		// Virtual-scheduler analog of the backoff below: an unthrottled
+		// die/retry loop never blocks, so an adversarial schedule could
+		// spin it past any step bound — a livelock the wall-clock backoff
+		// prevents in production. Park until the killing conflict clears
+		// (every lock release broadcasts). The retrying computation holds
+		// no locks here, so it cannot extend any wait cycle.
+		for {
+			h := c.locks[tok.diedOn]
+			if h == nil || h.ts >= tok.ts {
+				break
+			}
+			c.note.waitLocked(&c.mu)
+		}
 	}
-	time.Sleep(backoff)
+	c.mu.Unlock()
+	if useBackoff {
+		backoff := time.Duration(tok.attempt+1) * 200 * time.Microsecond
+		if backoff > 10*time.Millisecond {
+			backoff = 10 * time.Millisecond
+		}
+		time.Sleep(backoff)
+	}
 	return &wdToken{
 		ts:      tok.ts,
 		attempt: tok.attempt + 1,
@@ -265,5 +298,5 @@ func (c *WaitDie) releaseLocked(tok *wdToken) {
 		}
 		tok.held[i] = false
 	}
-	c.cond.Broadcast()
+	c.note.broadcastLocked()
 }

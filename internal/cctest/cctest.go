@@ -27,11 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -71,8 +74,13 @@ func Run(t *testing.T, cfg Config) {
 		cfg.Seeds = 12
 	}
 	t.Run("isolation-and-liveness", func(t *testing.T) {
-		for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
-			runWorkload(t, cfg, seed)
+		for _, seed := range seedList(cfg.Seeds) {
+			seed := seed
+			// The seed names the subtest, so a failure is re-runnable in
+			// isolation: CCTEST_SEED=<n> go test -run <this test> ./...
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				runWorkload(t, cfg, seed)
+			})
 		}
 	})
 	if !cfg.SkipUndeclared {
@@ -80,6 +88,21 @@ func Run(t *testing.T, cfg Config) {
 			runUndeclared(t, cfg)
 		})
 	}
+}
+
+// seedList returns the workload seeds to run: 0..n-1, or just the value
+// of CCTEST_SEED when set (reproducing one reported failure).
+func seedList(n int) []int64 {
+	if env := os.Getenv("CCTEST_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+			return []int64{v}
+		}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
 }
 
 // fixture is a protocol of m counter microprotocols whose handlers chain
@@ -94,6 +117,12 @@ type fixture struct {
 	handlers []*core.Handler
 	counters []int
 	snaps    []*snapState
+
+	// yield runs between the read and the write of the deliberately racy
+	// counter increment: runtime.Gosched under the stress battery (inviting
+	// real preemption), Scheduler.Step under exploration (making the same
+	// window an explicit decision point).
+	yield func()
 }
 
 type snapState struct{ v int }
@@ -106,9 +135,23 @@ type script struct {
 	pos int
 }
 
-func newFixture(cfg Config, m int) *fixture {
-	f := &fixture{rec: trace.NewRecorder()}
-	f.stack = core.NewStack(cfg.New(), core.WithTracer(f.rec))
+func newFixture(cfg Config, m int) *fixture { return newFixtureSched(cfg, m, nil) }
+
+// newFixtureSched builds the fixture; with a non-nil scheduler the stack
+// is hooked into it, the controller's blocking is routed through it, and
+// the racy-increment yield becomes a virtual decision point.
+func newFixtureSched(cfg Config, m int, sc *sched.Scheduler) *fixture {
+	f := &fixture{rec: trace.NewRecorder(), yield: runtime.Gosched}
+	ctrl := cfg.New()
+	opts := []core.StackOption{core.WithTracer(f.rec)}
+	if sc != nil {
+		if s, ok := ctrl.(sched.Schedulable); ok {
+			s.SetBlocker(sc)
+		}
+		opts = append(opts, core.WithHook(sc))
+		f.yield = sc.Step
+	}
+	f.stack = core.NewStack(ctrl, opts...)
 	f.counters = make([]int, m)
 	f.snaps = make([]*snapState, m)
 	for i := 0; i < m; i++ {
@@ -125,7 +168,7 @@ func newFixture(cfg Config, m int) *fixture {
 				f.snaps[i].v++
 			} else {
 				v := f.counters[i]
-				runtime.Gosched()
+				f.yield()
 				f.counters[i] = v + 1
 			}
 			if s.pos+1 < len(s.seq) {

@@ -85,6 +85,16 @@ func (c *Context) AsyncTriggerAll(et *EventType, msg Message) error {
 // terminated"). fn's error is recorded on the computation.
 func (c *Context) Fork(fn func(ctx *Context) error) {
 	c.inv.forks.Add(1)
+	if hk := c.comp.stack.hook; hk != nil {
+		task := hk.TaskSpawn(c.inv)
+		go func() {
+			defer c.inv.forks.Done()
+			defer hk.TaskEnd(task)
+			hk.TaskBegin(task)
+			c.comp.record(fn(&Context{comp: c.comp, inv: c.inv}))
+		}()
+		return
+	}
 	go func() {
 		defer c.inv.forks.Done()
 		c.comp.record(fn(&Context{comp: c.comp, inv: c.inv}))
@@ -122,6 +132,9 @@ func (s *Stack) callSync(comp *Computation, caller *invocation, et *EventType, h
 		comp.record(err)
 		return err
 	}
+	if hk := s.hook; hk != nil {
+		hk.Yield(YieldEnter)
+	}
 	if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
 		comp.record(err)
 		return err
@@ -139,6 +152,20 @@ func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, 
 		return err
 	}
 	comp.wg.Add(1)
+	if hk := s.hook; hk != nil {
+		task := hk.TaskSpawn(comp)
+		go func() {
+			defer comp.wg.Done()
+			defer hk.TaskEnd(task)
+			hk.TaskBegin(task)
+			if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
+				comp.record(err)
+				return
+			}
+			_ = s.runHandler(comp, et, h, msg)
+		}()
+		return nil
+	}
 	go func() {
 		defer comp.wg.Done()
 		if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
@@ -160,9 +187,12 @@ func (s *Stack) runHandler(comp *Computation, et *EventType, h *Handler, msg Mes
 	invID := s.invSeq.Add(1)
 	s.tracer.HandlerStart(comp.id, invID, et, h)
 	err := h.fn(&f.ctx, msg)
-	f.inv.forks.Wait()
+	s.waitInv(&f.inv)
 	s.tracer.HandlerEnd(comp.id, invID, h)
 	s.ctrl.Exit(comp.token, h)
+	if hk := s.hook; hk != nil {
+		hk.Yield(YieldExit)
+	}
 	f.inv.handler = nil
 	f.ctx = Context{}
 	framePool.Put(f)

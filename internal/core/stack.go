@@ -24,6 +24,7 @@ type Stack struct {
 	name   string
 	ctrl   Controller
 	tracer Tracer
+	hook   Hook // deterministic-scheduler hook; nil in production
 
 	mu       sync.Mutex // guards bindings and mps during the build phase and Rebind
 	bindings map[*EventType][]*Handler
@@ -215,6 +216,9 @@ func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
 
 	var retryToken Token
 	for {
+		if s.hook != nil {
+			s.hook.Yield(YieldSpawn)
+		}
 		token := retryToken
 		if token == nil {
 			var err error
@@ -233,9 +237,9 @@ func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
 		if root != nil {
 			comp.record(root(&Context{comp: comp, inv: &comp.rootInv}))
 		}
-		comp.rootInv.forks.Wait()
+		s.waitInv(&comp.rootInv)
 		s.ctrl.RootReturned(token)
-		comp.wg.Wait()
+		s.waitComp(comp)
 
 		err := comp.firstErr()
 		if errors.Is(err, ErrComputationAborted) {
@@ -249,10 +253,33 @@ func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
 				return err
 			}
 		}
+		if s.hook != nil {
+			s.hook.Yield(YieldComplete)
+		}
 		s.ctrl.Complete(token)
 		s.tracer.Completed(comp.id)
 		return err
 	}
+}
+
+// waitInv blocks until every thread forked by the invocation terminated.
+// Under a hook, the join is announced first so a deterministic scheduler
+// can run the forked tasks to completion; the native Wait then returns
+// without a scheduling dependency.
+func (s *Stack) waitInv(inv *invocation) {
+	if s.hook != nil {
+		s.hook.WaitTasks(inv)
+	}
+	inv.forks.Wait()
+}
+
+// waitComp blocks until every asynchronous handler execution of the
+// computation terminated (same hook protocol as waitInv).
+func (s *Stack) waitComp(c *Computation) {
+	if s.hook != nil {
+		s.hook.WaitTasks(c)
+	}
+	c.wg.Wait()
 }
 
 // IsolatedAsync spawns the computation from a fresh goroutine and returns

@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// RunSpec is one deterministically-scheduled execution of a workload.
+// The factory passed to Explore builds a fresh workload per execution
+// around the scheduler it receives (attach the scheduler as the stack's
+// hook and the controllers' blocker).
+type RunSpec struct {
+	// Body runs as the root task; it spawns the workload's computations
+	// with Scheduler.Go and may return before they finish — the run ends
+	// when every task has.
+	Body func()
+	// Check inspects the completed execution's invariants (serializability,
+	// lost updates, lifecycle balance); a non-nil error is a violation.
+	Check func() error
+	// StateHash, optional, fingerprints the workload state for DFS
+	// pruning.
+	StateHash func() uint64
+}
+
+// Options parameterizes Explore.
+type Options struct {
+	Strategy Strategy
+	// Runs caps the number of executions (an exhaustive strategy may
+	// stop earlier).
+	Runs int
+	// MaxSteps bounds decisions per execution (0: the Scheduler default).
+	MaxSteps int
+}
+
+// Violation is one failed execution: the invariant error together with
+// the schedule token that reproduces it via Replay.
+type Violation struct {
+	Execution int
+	Schedule  string
+	Err       error
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("execution %d: %v (replay schedule %s)", v.Execution, v.Err, v.Schedule)
+}
+
+// Result summarises an exploration.
+type Result struct {
+	Strategy   string
+	Executions int
+	Exhausted  bool // the strategy enumerated its whole bounded space
+	Violation  *Violation
+}
+
+// Explore runs up to opts.Runs executions of the workload, each under a
+// fresh scheduler driven by the shared strategy, and stops at the first
+// violation (deadlock, step-limit, or Check failure).
+func Explore(opts Options, mk func(s *Scheduler) RunSpec) Result {
+	res := Result{Strategy: opts.Strategy.Name()}
+	for i := 0; i < opts.Runs; i++ {
+		if ex, ok := opts.Strategy.(exhaustible); ok && ex.Exhausted() {
+			res.Exhausted = true
+			break
+		}
+		if ro, ok := opts.Strategy.(runObserver); ok {
+			ro.BeginRun()
+		}
+		var sopts []Option
+		if opts.MaxSteps > 0 {
+			sopts = append(sopts, WithMaxSteps(opts.MaxSteps))
+		}
+		s := New(opts.Strategy, sopts...)
+		spec := mk(s)
+		s.stateHash = spec.StateHash
+		err := s.Run(spec.Body)
+		if ro, ok := opts.Strategy.(runObserver); ok {
+			ro.EndRun()
+		}
+		if err == nil && spec.Check != nil {
+			err = spec.Check()
+		}
+		res.Executions++
+		if err != nil {
+			res.Violation = &Violation{
+				Execution: i,
+				Schedule:  EncodeSchedule(s.Choices()),
+				Err:       err,
+			}
+			return res
+		}
+	}
+	if ex, ok := opts.Strategy.(exhaustible); ok && ex.Exhausted() {
+		res.Exhausted = true
+	}
+	return res
+}
+
+// Replay re-executes exactly the interleaving a schedule token records
+// against a fresh instance of the same workload, returning the run or
+// check error it reproduces (nil when the schedule passes — e.g. the
+// token came from a different workload build).
+func Replay(token string, mk func(s *Scheduler) RunSpec) error {
+	choices, err := DecodeSchedule(token)
+	if err != nil {
+		return err
+	}
+	s := New(&fixed{choices: choices}, WithMaxSteps(len(choices)+1024))
+	spec := mk(s)
+	s.stateHash = spec.StateHash
+	if err := s.Run(spec.Body); err != nil {
+		return err
+	}
+	if spec.Check != nil {
+		return spec.Check()
+	}
+	return nil
+}
+
+// schedulePrefix versions the token wire format.
+const schedulePrefix = "sx1:"
+
+// EncodeSchedule renders a decision sequence as a compact printable
+// token: "sx1:" + base64url(uvarint choices).
+func EncodeSchedule(choices []int) string {
+	buf := make([]byte, 0, len(choices)+8)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, c := range choices {
+		n := binary.PutUvarint(tmp[:], uint64(c))
+		buf = append(buf, tmp[:n]...)
+	}
+	return schedulePrefix + base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// DecodeSchedule parses a token produced by EncodeSchedule.
+func DecodeSchedule(token string) ([]int, error) {
+	if !strings.HasPrefix(token, schedulePrefix) {
+		return nil, fmt.Errorf("sched: schedule token missing %q prefix", schedulePrefix)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(token[len(schedulePrefix):])
+	if err != nil {
+		return nil, fmt.Errorf("sched: malformed schedule token: %w", err)
+	}
+	var choices []int
+	for len(raw) > 0 {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("sched: truncated schedule token")
+		}
+		choices = append(choices, int(v))
+		raw = raw[n:]
+	}
+	return choices, nil
+}

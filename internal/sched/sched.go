@@ -1,0 +1,438 @@
+// Package sched is the repository's deterministic-simulation-testing
+// subsystem: a virtual scheduler that owns all concurrency of a test
+// run, so that every interleaving of a workload's computations is a
+// deterministic function of an explicit choice sequence — searchable,
+// recordable, and replayable.
+//
+// The pieces:
+//
+//   - Scheduler: a cooperative token-passing scheduler. Every thread of
+//     the run is a registered task; exactly one task runs at a time, and
+//     at each decision point a Strategy picks the next runnable task. It
+//     plugs into the framework twice: as a core.Hook (computation
+//     threads, joins, and dispatch yield points) and as a Blocker (the
+//     park/wake points controllers block on). A schedule in which no
+//     task is runnable but some are parked is a deadlock — detected
+//     immediately, with the full schedule, instead of a test timeout.
+//   - Strategies: seeded random walk (sampling, the behaviour the old
+//     stress tests approximated), PCT-style randomized priority
+//     scheduling with bounded depth, and bounded exhaustive DFS with
+//     state-hash pruning for small workloads.
+//   - Explore/Replay: the driver loop. Every explored execution is
+//     checked by workload invariants; a violation carries a compact
+//     schedule token, and Replay re-executes exactly that interleaving.
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+type taskState uint8
+
+const (
+	stateRunnable taskState = iota
+	stateRunning
+	stateParked    // blocked on a Waiter
+	stateWaitGroup // blocked in WaitTasks
+	stateDone
+)
+
+func (st taskState) String() string {
+	switch st {
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateWaitGroup:
+		return "joining"
+	case stateDone:
+		return "done"
+	default:
+		return "?"
+	}
+}
+
+// task is one virtual thread. Its gate carries the execution token: a
+// task runs only between receiving on gate and its next transition.
+type task struct {
+	id    int
+	state taskState
+	gate  chan struct{}
+	group any // join group it was spawned into; nil for root tasks
+}
+
+// DeadlockError reports a schedule under which every live task is
+// blocked. Schedule is the replay token of the complete interleaving
+// that led into the deadlock.
+type DeadlockError struct {
+	Schedule string
+	Tasks    string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sched: deadlock — all live tasks blocked (%s); schedule %s", e.Tasks, e.Schedule)
+}
+
+// Scheduler is a deterministic cooperative scheduler for one execution.
+// Create one per run with New; it is not reusable.
+//
+// It implements core.Hook (attach with core.WithHook) and Blocker
+// (inject into controllers with SetBlocker), so both the framework's
+// thread structure and the controllers' blocking are under its control.
+type Scheduler struct {
+	strategy  Strategy
+	maxSteps  int
+	stateHash func() uint64
+
+	mu       sync.Mutex
+	tasks    []*task // by id
+	groups   map[any]*joinGroup
+	running  *task
+	live     int
+	steps    int
+	choices  []int
+	err      error
+	dead     bool // poisoned: a terminal error was recorded
+	closed   bool
+	finished chan struct{}
+}
+
+type joinGroup struct {
+	n       int
+	waiters []*task
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithMaxSteps bounds the number of scheduling decisions per run — a
+// runaway guard that converts livelocks into errors (default 1 << 20).
+func WithMaxSteps(n int) Option {
+	return func(s *Scheduler) { s.maxSteps = n }
+}
+
+// WithStateHash attaches a workload state fingerprint, consulted at each
+// decision point and fed to the strategy (the DFS strategy prunes
+// states it has already expanded).
+func WithStateHash(fn func() uint64) Option {
+	return func(s *Scheduler) { s.stateHash = fn }
+}
+
+// New creates a scheduler for one execution driven by the strategy.
+func New(strategy Strategy, opts ...Option) *Scheduler {
+	s := &Scheduler{
+		strategy: strategy,
+		maxSteps: 1 << 20,
+		groups:   make(map[any]*joinGroup),
+		finished: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Run executes root as the first task and returns when every task has
+// terminated, or with an error when the run deadlocked, exceeded the
+// step bound, or diverged from a replayed schedule. On error the
+// scheduler is poisoned: all blocked tasks are released so their
+// goroutines can drain (their further execution is uncontrolled and
+// their results meaningless — the run already failed).
+func (s *Scheduler) Run(root func()) error {
+	s.mu.Lock()
+	t := s.newTaskLocked(nil)
+	s.mu.Unlock()
+	go func() {
+		<-t.gate
+		root()
+		s.taskDone(t)
+	}()
+	s.mu.Lock()
+	s.scheduleLocked()
+	s.mu.Unlock()
+	<-s.finished
+	return s.err
+}
+
+// Choices returns the decision sequence of the run so far: at step i,
+// the index into the id-sorted runnable set that was granted.
+func (s *Scheduler) Choices() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.choices))
+	copy(out, s.choices)
+	return out
+}
+
+// Go registers fn as a new root-level task. Call it from the run's root
+// function (or any running task) to spawn the workload's computations;
+// the caller keeps running, the new task waits to be scheduled.
+func (s *Scheduler) Go(fn func()) {
+	s.mu.Lock()
+	t := s.newTaskLocked(nil)
+	s.mu.Unlock()
+	go func() {
+		<-t.gate
+		fn()
+		s.taskDone(t)
+	}()
+}
+
+// Step is an explicit yield point for workload code — e.g. between the
+// read and the write of a deliberately racy handler body, modelling that
+// real handlers are preemptible mid-expression.
+func (s *Scheduler) Step() { s.yield() }
+
+// --- core.Hook ---
+
+// TaskSpawn implements core.Hook.
+func (s *Scheduler) TaskSpawn(group any) any {
+	s.mu.Lock()
+	t := s.newTaskLocked(group)
+	s.mu.Unlock()
+	return t
+}
+
+// TaskBegin implements core.Hook: the new thread blocks here until the
+// strategy first schedules it.
+func (s *Scheduler) TaskBegin(tk any) {
+	<-tk.(*task).gate
+}
+
+// TaskEnd implements core.Hook.
+func (s *Scheduler) TaskEnd(tk any) { s.taskDone(tk.(*task)) }
+
+// WaitTasks implements core.Hook: the running task blocks until every
+// task spawned into the group has ended.
+func (s *Scheduler) WaitTasks(group any) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	g := s.groups[group]
+	if g == nil || g.n == 0 {
+		s.mu.Unlock()
+		return
+	}
+	t := s.running
+	if t == nil {
+		s.mu.Unlock()
+		return
+	}
+	t.state = stateWaitGroup
+	g.waiters = append(g.waiters, t)
+	s.scheduleLocked()
+	s.mu.Unlock()
+	<-t.gate
+}
+
+// Yield implements core.Hook: a framework-level decision point.
+func (s *Scheduler) Yield(core.YieldPoint) { s.yield() }
+
+// --- Blocker ---
+
+// schedWaiter parks its task inside the virtual scheduler. Wake marks
+// the task runnable without a decision point — the waking task keeps
+// running until its own next yield, exactly like a channel send.
+type schedWaiter struct {
+	s     *Scheduler
+	t     *task
+	woken bool
+}
+
+// NewWaiter implements Blocker.
+func (s *Scheduler) NewWaiter() Waiter { return &schedWaiter{s: s} }
+
+func (w *schedWaiter) Park() {
+	s := w.s
+	s.mu.Lock()
+	if s.dead || w.woken {
+		w.woken = false
+		s.mu.Unlock()
+		return
+	}
+	t := s.running
+	if t == nil {
+		s.mu.Unlock()
+		return
+	}
+	w.t = t
+	t.state = stateParked
+	s.scheduleLocked()
+	s.mu.Unlock()
+	<-t.gate
+}
+
+func (w *schedWaiter) Wake() {
+	s := w.s
+	s.mu.Lock()
+	if w.t == nil {
+		w.woken = true
+	} else {
+		if w.t.state == stateParked {
+			w.t.state = stateRunnable
+		}
+		w.t = nil
+	}
+	s.mu.Unlock()
+}
+
+// --- internals ---
+
+func (s *Scheduler) newTaskLocked(group any) *task {
+	t := &task{id: len(s.tasks), state: stateRunnable, gate: make(chan struct{}, 1), group: group}
+	s.tasks = append(s.tasks, t)
+	s.live++
+	if group != nil {
+		g := s.groups[group]
+		if g == nil {
+			g = &joinGroup{}
+			s.groups[group] = g
+		}
+		g.n++
+	}
+	if ob, ok := s.strategy.(taskObserver); ok {
+		ob.TaskCreated(t.id)
+	}
+	return t
+}
+
+func (s *Scheduler) yield() {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	t := s.running
+	if t == nil {
+		s.mu.Unlock()
+		return
+	}
+	t.state = stateRunnable
+	s.scheduleLocked()
+	s.mu.Unlock()
+	<-t.gate
+}
+
+func (s *Scheduler) taskDone(t *task) {
+	s.mu.Lock()
+	if t.state != stateDone {
+		t.state = stateDone
+		s.live--
+	}
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	if t.group != nil {
+		if g := s.groups[t.group]; g != nil {
+			g.n--
+			if g.n == 0 {
+				for _, w := range g.waiters {
+					w.state = stateRunnable
+				}
+				delete(s.groups, t.group)
+			}
+		}
+	}
+	s.running = nil
+	s.scheduleLocked()
+	s.mu.Unlock()
+}
+
+// scheduleLocked is the decision point: collect the runnable set (in
+// task-id order, which is deterministic because ids are assigned in
+// schedule order), let the strategy pick, and grant the token. No
+// runnable task with live tasks remaining is a deadlock. Callers hold
+// s.mu.
+func (s *Scheduler) scheduleLocked() {
+	if s.dead {
+		return
+	}
+	s.running = nil
+	var runnable []*task
+	for _, t := range s.tasks {
+		if t.state == stateRunnable {
+			runnable = append(runnable, t)
+		}
+	}
+	if len(runnable) == 0 {
+		if s.live == 0 {
+			s.finishLocked(nil)
+			return
+		}
+		s.finishLocked(&DeadlockError{
+			Schedule: EncodeSchedule(s.choices),
+			Tasks:    s.describeLocked(),
+		})
+		return
+	}
+	if s.steps >= s.maxSteps {
+		s.finishLocked(fmt.Errorf("sched: step limit %d exceeded (livelock?); schedule %s",
+			s.maxSteps, EncodeSchedule(s.choices)))
+		return
+	}
+	ids := make([]int, len(runnable))
+	for i, t := range runnable {
+		ids[i] = t.id
+	}
+	var h uint64
+	if s.stateHash != nil {
+		h = s.stateHash()
+	}
+	idx := s.strategy.Pick(ids, s.steps, h)
+	if idx < 0 || idx >= len(runnable) {
+		s.finishLocked(fmt.Errorf("sched: schedule diverged at step %d (%d runnable tasks, strategy chose %d)",
+			s.steps, len(runnable), idx))
+		return
+	}
+	s.steps++
+	s.choices = append(s.choices, idx)
+	t := runnable[idx]
+	t.state = stateRunning
+	s.running = t
+	t.gate <- struct{}{}
+}
+
+// finishLocked ends the run. A non-nil error poisons the scheduler and
+// best-effort releases every blocked task so goroutines can drain.
+func (s *Scheduler) finishLocked(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.err = err
+	if err != nil {
+		s.dead = true
+		for _, t := range s.tasks {
+			if t.state != stateDone {
+				select {
+				case t.gate <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}
+	close(s.finished)
+}
+
+func (s *Scheduler) describeLocked() string {
+	var b strings.Builder
+	for _, t := range s.tasks {
+		if t.state == stateDone {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "t%d:%s", t.id, t.state)
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package sched
+
+import "math/rand"
+
+// Strategy decides, at each scheduling step, which runnable task runs
+// next. ids is the runnable set in ascending task-id order (task ids are
+// themselves schedule-deterministic); Pick returns an index into ids.
+// step counts decisions from 0 within one execution; stateHash is the
+// workload fingerprint (0 when none is attached).
+//
+// A strategy is stateful across the executions of one Explore call and
+// must not be shared between concurrent explorations.
+type Strategy interface {
+	Name() string
+	Pick(ids []int, step int, stateHash uint64) int
+}
+
+// taskObserver is implemented by strategies that track task creation
+// (PCT assigns priorities there).
+type taskObserver interface {
+	TaskCreated(id int)
+}
+
+// runObserver is implemented by strategies with per-execution
+// bookkeeping; Explore brackets every run with it.
+type runObserver interface {
+	BeginRun()
+	EndRun()
+}
+
+// exhaustible is implemented by strategies that can enumerate their
+// whole search space (DFS); Explore stops once Exhausted reports true.
+type exhaustible interface {
+	Exhausted() bool
+}
+
+// --- seeded random walk ---
+
+// RandomWalk picks uniformly among the runnable tasks — the same
+// behaviour the randomized stress battery samples through the Go
+// runtime, but seeded and replayable.
+type RandomWalk struct {
+	rng *rand.Rand
+}
+
+// NewRandomWalk creates a seeded uniform random strategy.
+func NewRandomWalk(seed int64) *RandomWalk {
+	return &RandomWalk{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (r *RandomWalk) Name() string { return "random" }
+
+// Pick implements Strategy.
+func (r *RandomWalk) Pick(ids []int, _ int, _ uint64) int { return r.rng.Intn(len(ids)) }
+
+// --- PCT (probabilistic concurrency testing) ---
+
+// PCT implements randomized priority scheduling in the style of
+// Burckhardt et al.'s PCT: every task gets a random high priority at
+// creation, the highest-priority runnable task always runs, and at d−1
+// randomly chosen steps the running-candidate's priority is demoted to a
+// low value. For a bug of depth d, each execution finds it with
+// probability ≥ 1/(n·kᵈ⁻¹) — far better odds than uniform sampling on
+// ordering-sensitive bugs.
+type PCT struct {
+	rng   *rand.Rand
+	depth int
+
+	prio      map[int]int // task id → priority (higher runs first)
+	change    map[int]int // step → demotion rank (0..depth-2)
+	stepsSeen int         // steps observed this run
+	lastSteps int         // length estimate from the previous run
+}
+
+// NewPCT creates a PCT strategy with the given bug-depth budget
+// (depth ≥ 1; depth−1 priority change points per execution).
+func NewPCT(seed int64, depth int) *PCT {
+	if depth < 1 {
+		depth = 1
+	}
+	return &PCT{
+		rng:   rand.New(rand.NewSource(seed)),
+		depth: depth,
+		prio:  make(map[int]int),
+	}
+}
+
+// Name implements Strategy.
+func (p *PCT) Name() string { return "pct" }
+
+// TaskCreated assigns the task a random priority above every demotion
+// rank.
+func (p *PCT) TaskCreated(id int) {
+	p.prio[id] = p.depth + p.rng.Intn(1<<16)
+}
+
+// BeginRun schedules this execution's priority change points over the
+// previous run's observed length (first run: a small default).
+func (p *PCT) BeginRun() {
+	est := p.lastSteps
+	if est < 8 {
+		est = 8
+	}
+	p.prio = make(map[int]int)
+	p.change = make(map[int]int, p.depth-1)
+	for i := 0; i < p.depth-1; i++ {
+		p.change[p.rng.Intn(est)] = i
+	}
+	p.stepsSeen = 0
+}
+
+// EndRun records the run length for the next round's change points.
+func (p *PCT) EndRun() { p.lastSteps = p.stepsSeen }
+
+// Pick implements Strategy: highest priority wins; at a change point the
+// would-be winner is first demoted.
+func (p *PCT) Pick(ids []int, step int, _ uint64) int {
+	if step+1 > p.stepsSeen {
+		p.stepsSeen = step + 1
+	}
+	best := p.highest(ids)
+	if rank, ok := p.change[step]; ok {
+		p.prio[ids[best]] = rank
+		delete(p.change, step)
+		best = p.highest(ids)
+	}
+	return best
+}
+
+func (p *PCT) highest(ids []int) int {
+	best := 0
+	for i := 1; i < len(ids); i++ {
+		if p.prio[ids[i]] > p.prio[ids[best]] {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- bounded exhaustive DFS ---
+
+// DFS enumerates schedules depth-first: each execution replays a prefix
+// of recorded decisions and extends it with first choices; backtracking
+// increments the deepest incrementable decision. Two bounds keep small
+// workloads tractable:
+//
+//   - maxDepth: decisions beyond it take the first choice without
+//     recording alternatives (the tail of long runs is not branched);
+//   - state-hash pruning: when the workload supplies a state hash and a
+//     decision point's state was already expanded once, its alternatives
+//     are skipped — revisiting an identical state cannot uncover new
+//     behaviour. Without a workload hash no pruning happens (the
+//     scheduler-only view is too coarse to be sound).
+type DFS struct {
+	maxDepth int
+
+	path      []dfsNode
+	replayLen int
+	visited   map[uint64]bool
+	exhausted bool
+}
+
+type dfsNode struct {
+	chosen int
+	n      int // alternatives recorded at this node
+}
+
+// NewDFS creates a bounded exhaustive strategy branching over the first
+// maxDepth decisions of every execution.
+func NewDFS(maxDepth int) *DFS {
+	return &DFS{maxDepth: maxDepth, visited: make(map[uint64]bool)}
+}
+
+// Name implements Strategy.
+func (d *DFS) Name() string { return "dfs" }
+
+// BeginRun truncates run-local state; the replay prefix set up by the
+// previous EndRun persists.
+func (d *DFS) BeginRun() { d.path = d.path[:d.replayLen] }
+
+// Pick implements Strategy.
+func (d *DFS) Pick(ids []int, step int, stateHash uint64) int {
+	if step < d.replayLen {
+		c := d.path[step].chosen
+		if c >= len(ids) {
+			return -1 // workload diverged; the scheduler reports it
+		}
+		return c
+	}
+	n := len(ids)
+	if step >= d.maxDepth {
+		n = 1
+	} else if n > 1 && stateHash != 0 {
+		if d.visited[stateHash] {
+			n = 1
+		} else {
+			d.visited[stateHash] = true
+		}
+	}
+	d.path = append(d.path, dfsNode{chosen: 0, n: n})
+	return 0
+}
+
+// EndRun backtracks: the deepest decision with an untried alternative is
+// incremented and becomes the tip of the next run's replay prefix. When
+// none remains the search space is exhausted.
+func (d *DFS) EndRun() {
+	i := len(d.path) - 1
+	for i >= 0 && d.path[i].chosen+1 >= d.path[i].n {
+		i--
+	}
+	if i < 0 {
+		d.exhausted = true
+		d.replayLen = 0
+		d.path = d.path[:0]
+		return
+	}
+	d.path[i].chosen++
+	d.path = d.path[:i+1]
+	d.replayLen = i + 1
+}
+
+// Exhausted reports whether every bounded schedule has been explored.
+func (d *DFS) Exhausted() bool { return d.exhausted }
+
+// --- fixed schedule (replay) ---
+
+// fixed replays a recorded choice sequence verbatim; decisions past the
+// recording (which a faithful replay never reaches) take first choices.
+type fixed struct {
+	choices []int
+}
+
+func (f *fixed) Name() string { return "replay" }
+
+func (f *fixed) Pick(ids []int, step int, _ uint64) int {
+	if step >= len(f.choices) {
+		return 0
+	}
+	c := f.choices[step]
+	if c >= len(ids) {
+		return -1
+	}
+	return c
+}

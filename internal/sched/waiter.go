@@ -1,0 +1,68 @@
+package sched
+
+import "sync"
+
+// Waiter is a one-shot park/wake point: exactly one thread calls Park
+// (blocking until woken) and some other thread calls Wake exactly once.
+// Waking before parking is allowed — Park then returns immediately. A
+// Waiter is dead once Park has returned; obtain a fresh one per wait.
+//
+// The discipline (single Park, single Wake) is what lets both
+// implementations stay allocation- and syscall-cheap; callers that need
+// broadcast semantics layer a waiter list on top (see cc's notifier).
+type Waiter interface {
+	Park()
+	Wake()
+}
+
+// Blocker supplies the park/wake points a concurrency controller blocks
+// on. Production code uses DefaultBlocker (real pooled channels); a test
+// attaches a *Scheduler instead, turning every block into a virtual
+// scheduling decision. Controllers that block implement
+//
+//	SetBlocker(b Blocker)
+//
+// (interface Schedulable), which must be called before the controller's
+// first Spawn.
+type Blocker interface {
+	NewWaiter() Waiter
+}
+
+// Schedulable is implemented by controllers whose blocking points can be
+// routed through a deterministic scheduler. SetBlocker must be called
+// before the controller admits its first computation.
+type Schedulable interface {
+	SetBlocker(Blocker)
+}
+
+// chanWaiter is the production Waiter: a pooled one-slot channel. The
+// buffered slot makes Wake non-blocking and wake-before-park safe; Park
+// returns the waiter to the pool after draining, which is safe because
+// the single Wake has already completed its send by then.
+type chanWaiter struct {
+	ch   chan struct{}
+	pool *sync.Pool
+}
+
+func (w *chanWaiter) Park() {
+	<-w.ch
+	w.pool.Put(w)
+}
+
+func (w *chanWaiter) Wake() { w.ch <- struct{}{} }
+
+type chanBlocker struct{ pool sync.Pool }
+
+func (b *chanBlocker) NewWaiter() Waiter { return b.pool.Get().(*chanWaiter) }
+
+var defaultBlocker = newChanBlocker()
+
+func newChanBlocker() *chanBlocker {
+	b := &chanBlocker{}
+	b.pool.New = func() any { return &chanWaiter{ch: make(chan struct{}, 1), pool: &b.pool} }
+	return b
+}
+
+// DefaultBlocker returns the production Blocker: real channel-based
+// waiters, pooled so steady-state blocking allocates nothing.
+func DefaultBlocker() Blocker { return defaultBlocker }

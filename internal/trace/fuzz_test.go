@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzChecker cross-validates the conflict-graph serializability checker
+// against a brute-force oracle that tries every serial order of the
+// computations (n ≤ 6, so at most 720 permutations). The fuzz input is
+// decoded into a random history of handler start/end/abort events; the
+// driver keeps its own ground-truth interval list while feeding the
+// recorder, so the oracle shares no parsing with the checker.
+func FuzzChecker(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1})
+	f.Add([]byte{0, 3, 6, 9, 1, 4, 7, 10})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2})
+	f.Add([]byte{5, 17, 254, 3, 3, 3, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			nComps = 4
+			nMPs   = 3
+		)
+		mps := make([]*core.Microprotocol, nMPs)
+		hs := make([]*core.Handler, nMPs)
+		for i := range mps {
+			mps[i] = core.NewMicroprotocol(fmt.Sprintf("fmp%d", i))
+			hs[i] = mps[i].AddHandler("h", func(*core.Context, core.Message) error { return nil })
+		}
+
+		rec := NewRecorder()
+		var (
+			seq     uint64 // mirrors the recorder's Seq assignment
+			invSeq  uint64
+			ivals   []*ival
+			open    []*ival // driver-side open stack (closed oldest-first)
+			openInv []uint64
+			aborted = map[uint64]bool{}
+		)
+		for i := 0; i < nComps; i++ {
+			rec.Spawned(uint64(i+1), nil)
+			seq++
+		}
+		for _, b := range data {
+			switch b % 3 {
+			case 0: // start a new access
+				comp := uint64(b/3)%nComps + 1
+				mp := int(b/7) % nMPs
+				invSeq++
+				seq++
+				iv := &ival{comp: comp, mp: mp, start: seq}
+				ivals = append(ivals, iv)
+				open = append(open, iv)
+				openInv = append(openInv, invSeq)
+				rec.HandlerStart(comp, invSeq, nil, hs[mp])
+			case 1: // end the oldest open access
+				if len(open) == 0 {
+					continue
+				}
+				seq++
+				open[0].end = seq
+				rec.HandlerEnd(open[0].comp, openInv[0], hs[open[0].mp])
+				open = open[1:]
+				openInv = openInv[1:]
+			default: // abort a computation (its accesses never happened)
+				comp := uint64(b/3)%nComps + 1
+				seq++
+				aborted[comp] = true
+				rec.Aborted(comp)
+			}
+		}
+		// Accesses still open at the end of the log extend past every
+		// recorded event (the checker gives them end = maxSeq+1).
+		for _, iv := range open {
+			iv.end = seq + 1
+		}
+
+		got := rec.Check().Serializable
+		want := bruteForceSerializable(ivals, aborted)
+		if got != want {
+			t.Fatalf("checker says serializable=%v, brute-force oracle says %v\nintervals: %+v aborted: %v",
+				got, want, ivals, aborted)
+		}
+	})
+}
+
+// ival is one ground-truth handler access interval.
+type ival struct {
+	comp       uint64
+	mp         int
+	start, end uint64
+}
+
+// bruteForceSerializable tries every permutation of the computations: a
+// history is serializable iff some total order π satisfies, for every
+// pair of accesses a∈X, b∈Y (X≠Y) on the same microprotocol, that
+// whenever π runs X before Y, no access of Y on that microprotocol
+// completed before an access of X began. Overlapping accesses of
+// different computations violate the constraint in both directions, so
+// they rule out every π.
+func bruteForceSerializable(ivals []*ival, aborted map[uint64]bool) bool {
+	live := ivals[:0:0]
+	compSet := map[uint64]bool{}
+	for _, iv := range ivals {
+		if !aborted[iv.comp] {
+			live = append(live, iv)
+			compSet[iv.comp] = true
+		}
+	}
+	comps := make([]uint64, 0, len(compSet))
+	for c := range compSet {
+		comps = append(comps, c)
+	}
+	if len(comps) <= 1 {
+		return true
+	}
+
+	valid := func(pos map[uint64]int) bool {
+		for i, a := range live {
+			for _, b := range live[i+1:] {
+				if a.comp == b.comp || a.mp != b.mp {
+					continue
+				}
+				// first/second by the serial order π.
+				first, second := a, b
+				if pos[b.comp] < pos[a.comp] {
+					first, second = b, a
+				}
+				// π claims first's computation ran entirely before
+				// second's; then every observed access of second on this
+				// microprotocol must begin after first's access ended.
+				if second.start < first.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	pos := make(map[uint64]int, len(comps))
+	var permute func(k int) bool
+	permute = func(k int) bool {
+		if k == len(comps) {
+			for i, c := range comps {
+				pos[c] = i
+			}
+			return valid(pos)
+		}
+		for i := k; i < len(comps); i++ {
+			comps[k], comps[i] = comps[i], comps[k]
+			if permute(k + 1) {
+				return true
+			}
+			comps[k], comps[i] = comps[i], comps[k]
+		}
+		return false
+	}
+	return permute(0)
+}
