@@ -3,15 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep examples clean
+.PHONY: all build vet samoa-vet test race bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep examples clean
 
-all: build vet test
+all: build vet samoa-vet test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static microprotocol-contract checking (cmd/samoa-vet, DESIGN.md §9):
+# footprint / readonly / nestediso / blocking / routecycle over the
+# repo's own protocol code. Zero findings is the merge bar; deliberate
+# exceptions carry a //samoa:ignore <check> — rationale.
+samoa-vet:
+	$(GO) run ./cmd/samoa-vet ./internal/... ./examples/...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,119 @@
+// Command samoa-vet statically checks microprotocol isolation contracts
+// (see internal/analysis). It loads the named package patterns, runs the
+// five analyzers, and exits 1 if anything was found:
+//
+//	samoa-vet ./internal/... ./examples/...
+//	samoa-vet -checks footprint,blocking ./internal/gc
+//	samoa-vet -json ./...     # machine-readable findings for CI
+//	samoa-vet -github ./...   # GitHub Actions error annotations
+//
+// Deliberate findings are silenced in source with //samoa:ignore <check>
+// on the flagged line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
+		githubOut = flag.Bool("github", false, "emit findings as GitHub Actions annotations")
+		checks    = flag.String("checks", "all", "comma-separated checks to run (footprint,readonly,nestediso,blocking,routecycle)")
+		list      = flag.Bool("list", false, "list the available checks and exit")
+		stats     = flag.Bool("stats", false, "print per-package model-extraction statistics to stderr")
+	)
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samoa-vet:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samoa-vet:", err)
+		os.Exit(2)
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samoa-vet:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	loadFailed := false
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "samoa-vet:", err)
+			loadFailed = true
+			continue
+		}
+		diags = append(diags, analysis.RunChecks(pkg, analyzers)...)
+		if *stats {
+			model := analysis.ExtractModel(pkg)
+			resolvedSpecs := 0
+			for _, s := range model.IsoSites {
+				if s.Spec != nil && s.Spec.SpecComplete {
+					resolvedSpecs++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "samoa-vet: %-40s handlers=%-3d bindings=%-3d isosites=%-3d resolved-specs=%d\n",
+				pkg.ImportPath, len(model.Handlers), len(model.Bindings), len(model.IsoSites), resolvedSpecs)
+		}
+	}
+
+	// Report paths relative to the module root so output is stable
+	// across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModuleRoot, diags[i].File); err == nil {
+			diags[i].File = rel
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "samoa-vet:", err)
+			os.Exit(2)
+		}
+	case *githubOut:
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=samoa-vet/%s::%s\n",
+				d.File, d.Line, d.Column, d.Check, d.Message)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(diags) > 0:
+		os.Exit(1)
+	}
+}

@@ -48,7 +48,7 @@ func newPipeline(ctrl core.Controller) *pipeline {
 		// synchronous Trigger would nest the whole chain inside stage 0,
 		// holding it for the full duration — no pipelining possible.)
 		h := mp.AddHandler("run", func(ctx *core.Context, msg core.Message) error {
-			time.Sleep(stageWork) // simulated stage work (I/O, marshalling…)
+			time.Sleep(stageWork) //samoa:ignore blocking — simulated stage work (I/O, marshalling…); never run under the explorer
 			if i+1 < len(names) {
 				return ctx.AsyncTrigger(p.evs[i+1], msg)
 			}

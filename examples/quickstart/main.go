@@ -24,6 +24,8 @@ import (
 )
 
 // work simulates handler processing time so computations actually overlap.
+//
+//samoa:ignore blocking — the sleep is the simulated workload; this demo samples real time
 func work() { time.Sleep(time.Duration(rand.Intn(120)) * time.Microsecond) }
 
 // fig1 is the protocol of Figure 1: external event a0 triggers P, which

@@ -56,7 +56,7 @@ func newBank(ctrl core.Controller, n, initial int) *bank {
 		hD := mp.AddHandler("debit", func(ctx *core.Context, msg core.Message) error {
 			tr := msg.(transfer)
 			acct.balance -= tr.amount
-			time.Sleep(50 * time.Microsecond) // bookkeeping latency
+			time.Sleep(50 * time.Microsecond) //samoa:ignore blocking — simulated bookkeeping latency; never run under the explorer
 			return ctx.Trigger(b.credit[tr.to], tr)
 		})
 		hC := mp.AddHandler("credit", func(_ *core.Context, msg core.Message) error {

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BlockingAnalyzer checks for explorability escapes: scheduling points
+// the deterministic explorer (internal/sched) cannot see. Inside
+// computation contexts (handler bodies, Fork closures, isolated roots)
+// and inside methods of types implementing core.Controller, raw
+// time.Sleep, channel operations, select, sync.Mutex/RWMutex locking,
+// sync.WaitGroup/Cond waits and bare go statements all block or spawn
+// outside the sched.Blocker/Hook seam, hiding schedules from
+// cctest.Explore. Controllers should block through sched.Blocker
+// waiters; handlers should use Fork and let the controller schedule.
+// Short mutex critical sections inside controllers are exempt — the
+// seam is about *waiting*, and controllers guard their own bookkeeping.
+var BlockingAnalyzer = &Analyzer{
+	Name: "blocking",
+	Doc:  "handlers and controllers must not block outside the sched.Blocker seam",
+	Run:  runBlocking,
+}
+
+func runBlocking(pass *Pass) {
+	m := pass.Model
+	visited := map[ast.Node]bool{}
+	for _, cc := range m.ComputationContexts() {
+		label := cc.Label
+		m.WalkReachable(cc.Fn, visited, func(n ast.Node, _ *FuncNode) {
+			reportBlocking(pass, n, label, false)
+		})
+	}
+	ctrlVisited := map[ast.Node]bool{}
+	for _, ctrl := range controllerMethods(m) {
+		label := ctrl.label
+		m.WalkReachable(ctrl.fn, ctrlVisited, func(n ast.Node, _ *FuncNode) {
+			reportBlocking(pass, n, label, true)
+		})
+	}
+}
+
+// reportBlocking flags one AST node if it is a raw scheduling point.
+// Inside controllers, plain mutex locking is allowed.
+func reportBlocking(pass *Pass, n ast.Node, label string, inController bool) {
+	m := pass.Model
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		pass.Reportf(n.Pos(), "raw channel send inside %s is invisible to the schedule explorer — block through sched.Blocker", label)
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			pass.Reportf(n.Pos(), "raw channel receive inside %s is invisible to the schedule explorer — block through sched.Blocker", label)
+		}
+	case *ast.SelectStmt:
+		pass.Reportf(n.Pos(), "select inside %s is invisible to the schedule explorer — block through sched.Blocker", label)
+	case *ast.RangeStmt:
+		if t := m.Pkg.Info.TypeOf(n.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				pass.Reportf(n.Pos(), "ranging over a channel inside %s is invisible to the schedule explorer — block through sched.Blocker", label)
+			}
+		}
+	case *ast.GoStmt:
+		pass.Reportf(n.Pos(), "bare go statement inside %s bypasses Fork, so the explorer and the computation's join never see the task", label)
+	case *ast.CallExpr:
+		fn := m.calleeFunc(n)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path == "time" && fn.Name() == "Sleep" {
+			pass.Reportf(n.Pos(), "time.Sleep inside %s stalls real time the explorer cannot virtualize — yield through the controller instead", label)
+			return
+		}
+		if path != "sync" {
+			return
+		}
+		recv := recvTypeName(fn)
+		switch {
+		case recv == "WaitGroup" && fn.Name() == "Wait",
+			recv == "Cond" && fn.Name() == "Wait":
+			pass.Reportf(n.Pos(), "sync.%s.%s inside %s is a blocking point the schedule explorer cannot order — use a sched.Blocker waiter", recv, fn.Name(), label)
+		case (recv == "Mutex" || recv == "RWMutex") && (fn.Name() == "Lock" || fn.Name() == "RLock"):
+			if !inController {
+				pass.Reportf(n.Pos(), "sync.%s.%s inside %s hand-rolls synchronization the controller already provides and hides the blocking from the explorer", recv, fn.Name(), label)
+			}
+		}
+	}
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if n, isNamed := t.(*types.Named); isNamed {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+type ctrlMethod struct {
+	fn    *FuncNode
+	label string
+}
+
+// controllerMethods finds the methods of every package-level type that
+// implements core.Controller — the per-stack schedulers whose blocking
+// must route through sched.Blocker to stay explorable.
+func controllerMethods(m *Model) []ctrlMethod {
+	iface := controllerInterface(m.Pkg.Types)
+	if iface == nil {
+		return nil
+	}
+	var out []ctrlMethod
+	scope := m.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if decl := m.funcDecls[named.Method(i)]; decl != nil && decl.Body != nil {
+				out = append(out, ctrlMethod{
+					fn:    &FuncNode{Decl: decl},
+					label: "controller " + name + "." + named.Method(i).Name(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// controllerInterface locates core.Controller from the package itself
+// or its imports; nil when the package never touches core.
+func controllerInterface(pkg *types.Package) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		if p == nil {
+			return nil
+		}
+		if p.Path() != "internal/core" && !strings.HasSuffix(p.Path(), "/internal/core") {
+			return nil
+		}
+		tn, ok := p.Scope().Lookup("Controller").(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, _ := tn.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if iface := lookup(pkg); iface != nil {
+		return iface
+	}
+	for _, imp := range pkg.Imports() {
+		if iface := lookup(imp); iface != nil {
+			return iface
+		}
+	}
+	return nil
+}

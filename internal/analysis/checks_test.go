@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each golden test runs exactly one analyzer over its testdata package
+// and diffs the findings against the // want comments. Disabling a
+// check leaves its expectations unmatched, so these tests double as the
+// guard that every check stays wired in.
+
+func testdata(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+func TestFootprint(t *testing.T) {
+	analysistest.Run(t, testdata("footprint"), analysis.FootprintAnalyzer)
+}
+
+func TestReadOnly(t *testing.T) {
+	analysistest.Run(t, testdata("readonly"), analysis.ReadOnlyAnalyzer)
+}
+
+func TestNestedIso(t *testing.T) {
+	analysistest.Run(t, testdata("nestediso"), analysis.NestedIsoAnalyzer)
+}
+
+func TestBlocking(t *testing.T) {
+	analysistest.Run(t, testdata("blocking"), analysis.BlockingAnalyzer)
+}
+
+func TestRouteCycle(t *testing.T) {
+	analysistest.Run(t, testdata("routecycle"), analysis.RouteCycleAnalyzer)
+}
+
+// TestByName covers the -checks selection surface.
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	two, err := analysis.ByName("footprint, blocking")
+	if err != nil || len(two) != 2 || two[0].Name != "footprint" || two[1].Name != "blocking" {
+		t.Fatalf("ByName(\"footprint, blocking\") = %v, err %v", two, err)
+	}
+	if _, err := analysis.ByName("nope"); err == nil {
+		t.Fatal("ByName(\"nope\") succeeded; want error")
+	}
+}

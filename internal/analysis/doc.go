@@ -1,0 +1,38 @@
+// Package analysis is samoa-vet: a stdlib-only static checker for the
+// framework's microprotocol isolation contracts.
+//
+// The runtime controllers (internal/cc) enforce the paper's isolation
+// property against the Spec a computation *declares* — but nothing at
+// runtime validates that the declaration itself is honest. An
+// "isolated M e" whose computation reaches a microprotocol outside M is
+// rejected only when that path actually executes; a handler annotated
+// ReadOnly that writes state silently corrupts VCARW schedules; a
+// synchronous Isolated inside a handler deadlocks only under the right
+// interleaving. This package rejects those compositions at build time.
+//
+// It is built directly on go/parser, go/ast and go/types (no
+// golang.org/x/tools): a Loader type-checks module packages from
+// source, model.go lifts each package into an abstract protocol model —
+// event types, microprotocols, handlers, binding graph, Spec literals,
+// Isolated roots — and five Analyzer values walk that model:
+//
+//	footprint   Isolated/External roots that transitively reach a
+//	            handler of a microprotocol absent from the declared Spec
+//	readonly    ReadOnly() handlers whose bodies write captured state
+//	nestediso   synchronous Isolated/External inside a computation
+//	            (the documented deadlock; use IsolatedAsync)
+//	blocking    raw time.Sleep, channel ops, sync blocking or bare go
+//	            statements inside handlers or controllers, bypassing the
+//	            sched.Blocker seam and hiding schedules from the explorer
+//	routecycle  cycles in core.Route graph literals (legal, but they
+//	            disable VCAroute's early release — worth knowing)
+//
+// All value tracking is conservative: a Spec, event type or handler the
+// extractor cannot resolve to a single static value is skipped, never
+// guessed, so every diagnostic is backed by a concrete static path.
+// Deliberate exceptions are silenced in source with
+//
+//	//samoa:ignore <check>[,<check>...]    (or bare //samoa:ignore)
+//
+// on the flagged line or the line above it.
+package analysis

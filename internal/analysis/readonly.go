@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReadOnlyAnalyzer checks read-only honesty: a handler registered with
+// core.ReadOnly() must not write state it captures from outside itself.
+// Read/write-aware controllers (cc.VCARW) schedule ReadOnly handlers
+// concurrently with other readers, so a lying annotation produces data
+// races no runtime check catches. A "write" is an assignment, IncDec,
+// delete or copy whose target chains down to a variable declared
+// outside the function — closed-over protocol state, a method receiver,
+// or a package-level variable. Writes in same-package helpers the
+// handler calls count too, and are reported at the write.
+var ReadOnlyAnalyzer = &Analyzer{
+	Name: "readonly",
+	Doc:  "ReadOnly() handlers must not write microprotocol state",
+	Run:  runReadOnly,
+}
+
+func runReadOnly(pass *Pass) {
+	m := pass.Model
+	for _, h := range m.Handlers {
+		if !h.ReadOnly || h.Body == nil {
+			continue
+		}
+		visited := map[ast.Node]bool{}
+		m.WalkReachable(h.Body, visited, func(n ast.Node, in *FuncNode) {
+			for _, w := range writeTargets(n) {
+				obj := rootObj(m.Pkg.Info, w.target)
+				if obj == nil || isLocalTo(obj, in, m.Pkg.Info) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"handler %s is declared ReadOnly but %s captured state %q — VCARW will schedule it concurrently with other readers",
+					h, w.verb, obj.Name())
+			}
+		})
+	}
+}
+
+// write is one mutation a statement performs: the expression written
+// through and a verb for the diagnostic.
+type write struct {
+	target ast.Expr
+	verb   string
+}
+
+// writeTargets returns the expressions a statement writes through.
+func writeTargets(n ast.Node) []write {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		var out []write
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			out = append(out, write{lhs, "writes"})
+		}
+		return out
+	case *ast.IncDecStmt:
+		return []write{{n.X, "writes"}}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+			if id.Name == "delete" {
+				return []write{{n.Args[0], "deletes from"}}
+			}
+			if id.Name == "copy" {
+				return []write{{n.Args[0], "copies into"}}
+			}
+		}
+	}
+	return nil
+}
+
+// rootObj chases a write target down to the variable at its base:
+// s.buf[i] → s, *p → p, m[k] → m.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// A qualified package-level variable (pkg.Var) has the
+			// variable at Sel; a field chain has it at the base.
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isLocalTo reports whether obj is declared inside fn — a local,
+// parameter or named result — as opposed to captured state. A method
+// receiver lies inside the declaration's range but *is* the
+// microprotocol state, so it is never local.
+func isLocalTo(obj types.Object, fn *FuncNode, info *types.Info) bool {
+	if recv := fn.RecvObj(info); recv != nil && obj == recv {
+		return false
+	}
+	node := fn.NodeOf()
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// RouteCycleAnalyzer checks core.NewRouteGraph literals for directed
+// handler cycles. A cyclic routing pattern is legal — recursion needs
+// one — but VCAroute's rule 4(b) can never release the microprotocols
+// on the cycle before the computation completes, silently degrading a
+// Route spec to Access-like locking for those microprotocols. The
+// runtime exposes this as RouteGraph.HasCycle; samoa-vet surfaces it at
+// build time, where the graph is declared.
+var RouteCycleAnalyzer = &Analyzer{
+	Name: "routecycle",
+	Doc:  "route-graph literals with cycles forfeit VCAroute early release",
+	Run:  runRouteCycle,
+}
+
+func runRouteCycle(pass *Pass) {
+	for _, g := range pass.Model.Graphs {
+		if cycle := findCycle(g); cycle != nil {
+			names := make([]string, len(cycle))
+			for i, h := range cycle {
+				names[i] = h.String()
+			}
+			pass.Reportf(g.Call.Pos(),
+				"route graph has a handler cycle (%s) — VCAroute cannot release its microprotocols before completion; break the cycle or accept Access-like locking",
+				strings.Join(names, " → "))
+		}
+	}
+}
+
+// findCycle returns one directed cycle of the graph (first vertex
+// repeated at the end), or nil. Vertices are visited in source order so
+// the reported cycle is deterministic.
+func findCycle(g *Val) []*Val {
+	verts := map[*Val]bool{}
+	for _, r := range g.Roots {
+		verts[r] = true
+	}
+	for from, tos := range g.Edges {
+		verts[from] = true
+		for _, to := range tos {
+			verts[to] = true
+		}
+	}
+	order := make([]*Val, 0, len(verts))
+	for v := range verts {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return posOf(order[i]) < posOf(order[j]) })
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*Val]int{}
+	var stack []*Val
+	var visit func(h *Val) []*Val
+	visit = func(h *Val) []*Val {
+		color[h] = grey
+		stack = append(stack, h)
+		for _, s := range g.Edges[h] {
+			switch color[s] {
+			case grey:
+				// Slice the cycle out of the DFS stack.
+				for i, v := range stack {
+					if v == s {
+						return append(append([]*Val{}, stack[i:]...), s)
+					}
+				}
+			case white:
+				if c := visit(s); c != nil {
+					return c
+				}
+			}
+		}
+		color[h] = black
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for _, h := range order {
+		if color[h] == white {
+			if c := visit(h); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}

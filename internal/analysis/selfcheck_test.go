@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoCleanAtHead is the self-application gate: samoa-vet over the
+// repository's own packages must report nothing. New protocol code that
+// trips a check either gets fixed or carries an explicit, rationalized
+// //samoa:ignore — silence is not an option.
+func TestRepoCleanAtHead(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := loader.Expand([]string{"./internal/...", "./examples/..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no packages expanded")
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		for _, d := range analysis.RunChecks(pkg, analysis.All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestSeededRegressionCaught deletes one microprotocol from the
+// quickstart example's spec and checks the footprint analyzer reports
+// the now-unreachable handler — the acceptance probe from the issue.
+func TestSeededRegressionCaught(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	src, err := os.ReadFile(filepath.Join(loader.ModuleRoot, "examples", "quickstart", "main.go"))
+	if err != nil {
+		t.Fatalf("read quickstart: %v", err)
+	}
+	const orig = "core.Access(f.mpP, f.mpR, f.mpS)"
+	if !strings.Contains(string(src), orig) {
+		t.Fatalf("quickstart no longer contains %q; update this test's seed", orig)
+	}
+	seeded := strings.Replace(string(src), orig, "core.Access(f.mpP, f.mpR)", 1)
+
+	// The seeded copy must live under the module root so its
+	// repro/... imports resolve.
+	dir, err := os.MkdirTemp("testdata", "seeded-")
+	if err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(seeded), 0o644); err != nil {
+		t.Fatalf("write seeded copy: %v", err)
+	}
+
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load seeded copy: %v", err)
+	}
+	diags := analysis.RunChecks(pkg, []*analysis.Analyzer{analysis.FootprintAnalyzer})
+	want := regexp.MustCompile(`reaches handler S\.S but microprotocol S is not in its declared spec \[P R\]`)
+	found := false
+	for _, d := range diags {
+		if want.MatchString(d.Message) {
+			found = true
+		} else {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("footprint missed the seeded regression; got %d diagnostics", len(diags))
+	}
+}

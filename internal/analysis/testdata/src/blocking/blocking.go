@@ -1,0 +1,89 @@
+// Package blocking is golden testdata for the blocking check: raw
+// scheduling points inside handlers and controllers that the
+// deterministic explorer cannot see.
+package blocking
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+type state struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func build() {
+	mp := core.NewMicroprotocol("B")
+	s := &state{ch: make(chan int)}
+
+	mp.AddHandler("sleepy", func(ctx *core.Context, msg core.Message) error {
+		time.Sleep(time.Millisecond) // want `time\.Sleep inside handler B\.sleepy`
+		return nil
+	})
+
+	mp.AddHandler("chatty", func(ctx *core.Context, msg core.Message) error {
+		s.ch <- 1   // want `raw channel send inside handler B\.chatty`
+		v := <-s.ch // want `raw channel receive inside handler B\.chatty`
+		_ = v
+		for range s.ch { // want `ranging over a channel inside handler B\.chatty`
+		}
+		select { // want `select inside handler B\.chatty`
+		case <-s.ch: // want `raw channel receive inside handler B\.chatty`
+		}
+		return nil
+	})
+
+	mp.AddHandler("spawner", func(ctx *core.Context, msg core.Message) error {
+		go func() {}() // want `bare go statement inside handler B\.spawner`
+		return nil
+	})
+
+	mp.AddHandler("synced", func(ctx *core.Context, msg core.Message) error {
+		s.mu.Lock() // want `sync\.Mutex\.Lock inside handler B\.synced`
+		s.mu.Unlock()
+		s.wg.Wait() // want `sync\.WaitGroup\.Wait inside handler B\.synced`
+		return nil
+	})
+
+	// Fork is the sanctioned way to run concurrent work: clean.
+	mp.AddHandler("forker", func(ctx *core.Context, msg core.Message) error {
+		ctx.Fork(func(ctx *core.Context) error { return nil })
+		return nil
+	})
+}
+
+// delay is ordinary code outside any computation context: not flagged.
+func delay() { time.Sleep(time.Millisecond) }
+
+// slowCtrl implements core.Controller with blocking that bypasses the
+// sched.Blocker seam. Its bookkeeping mutex is exempt; its channel wait
+// and sleep are not.
+type slowCtrl struct {
+	mu   sync.Mutex
+	cond chan struct{}
+}
+
+func (c *slowCtrl) Name() string { return "slow" }
+
+func (c *slowCtrl) Spawn(spec *core.Spec) (core.Token, error) { return nil, nil }
+
+func (c *slowCtrl) Request(t core.Token, caller, h *core.Handler) error { return nil }
+
+func (c *slowCtrl) Enter(t core.Token, caller, h *core.Handler) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	<-c.cond // want `raw channel receive inside controller slowCtrl\.Enter`
+	return nil
+}
+
+func (c *slowCtrl) Exit(t core.Token, h *core.Handler) {}
+
+func (c *slowCtrl) RootReturned(t core.Token) {}
+
+func (c *slowCtrl) Complete(t core.Token) {
+	time.Sleep(time.Millisecond) // want `time\.Sleep inside controller slowCtrl\.Complete`
+}

@@ -1,0 +1,70 @@
+// Package footprint is golden testdata for the footprint check: a
+// three-stage trigger chain e0 → A.head → e1 → B.mid → e2 → C.sink,
+// spawned under specs that do and do not cover the chain.
+package footprint
+
+import "repro/internal/core"
+
+type proto struct {
+	stack         *core.Stack
+	e0, e1, e2    *core.EventType
+	mpA, mpB, mpC *core.Microprotocol
+}
+
+func build(ctrl core.Controller) *proto {
+	p := &proto{}
+	p.stack = core.NewStack(ctrl)
+	p.mpA = core.NewMicroprotocol("A")
+	p.mpB = core.NewMicroprotocol("B")
+	p.mpC = core.NewMicroprotocol("C")
+	p.e0 = core.NewEventType("e0")
+	p.e1 = core.NewEventType("e1")
+	p.e2 = core.NewEventType("e2")
+
+	hA := p.mpA.AddHandler("head", func(ctx *core.Context, msg core.Message) error {
+		return ctx.Trigger(p.e1, msg)
+	})
+	// B forwards through a helper, so the walk must bind the helper's
+	// parameter to the caller's argument to see e2.
+	hB := p.mpB.AddHandler("mid", func(ctx *core.Context, msg core.Message) error {
+		return emit(ctx, p.e2, msg)
+	})
+	hC := p.mpC.AddHandler("sink", func(ctx *core.Context, msg core.Message) error {
+		return nil
+	})
+
+	p.stack.Register(p.mpA, p.mpB, p.mpC)
+	p.stack.Bind(p.e0, hA)
+	p.stack.Bind(p.e1, hB)
+	p.stack.Bind(p.e2, hC)
+	return p
+}
+
+func emit(ctx *core.Context, ev *core.EventType, msg core.Message) error {
+	return ctx.Trigger(ev, msg)
+}
+
+// runShort under-declares: the chain reaches C.sink but the spec stops
+// at B.
+func (p *proto) runShort() error {
+	return p.stack.External(core.Access(p.mpA, p.mpB), p.e0, "m") // want `reaches handler C\.sink but microprotocol C is not in its declared spec \[A B\]`
+}
+
+// runFull declares the whole chain: clean.
+func (p *proto) runFull() error {
+	return p.stack.External(core.Access(p.mpA, p.mpB, p.mpC), p.e0, "m")
+}
+
+// runIso spawns from a root closure whose trigger reaches B and,
+// transitively, C — neither declared.
+func (p *proto) runIso() error {
+	return p.stack.Isolated(core.Access(p.mpA), func(ctx *core.Context) error { // want `reaches handler B\.mid but microprotocol B is not in its declared spec \[A\]` `reaches handler C\.sink but microprotocol C is not in its declared spec \[A\]`
+		return ctx.Trigger(p.e1, nil)
+	})
+}
+
+// runDynamic builds its spec at runtime: statically unresolvable, so
+// the check leaves enforcement to the controller.
+func (p *proto) runDynamic(mps []*core.Microprotocol) error {
+	return p.stack.External(core.Access(mps...), p.e0, "m")
+}

@@ -1,0 +1,59 @@
+// Package nestediso is golden testdata for the nestediso check:
+// computations spawning other computations synchronously (deadlock) or
+// asynchronously (fine).
+package nestediso
+
+import "repro/internal/core"
+
+type nest struct {
+	stack    *core.Stack
+	e0, e1   *core.EventType
+	mpA, mpB *core.Microprotocol
+	specB    *core.Spec
+}
+
+func build(ctrl core.Controller) *nest {
+	n := &nest{}
+	n.stack = core.NewStack(ctrl)
+	n.mpA = core.NewMicroprotocol("A")
+	n.mpB = core.NewMicroprotocol("B")
+	n.e0 = core.NewEventType("e0")
+	n.e1 = core.NewEventType("e1")
+	n.specB = core.Access(n.mpB)
+
+	hA := n.mpA.AddHandler("head", func(ctx *core.Context, msg core.Message) error {
+		return ctx.Stack().Isolated(n.specB, func(ctx *core.Context) error { // want `synchronous Stack\.Isolated inside handler A\.head`
+			return nil
+		})
+	})
+
+	// Spawning through a Fork closure is still inside the computation.
+	hB := n.mpB.AddHandler("forker", func(ctx *core.Context, msg core.Message) error {
+		ctx.Fork(func(ctx *core.Context) error {
+			return ctx.Stack().External(n.specB, n.e1, nil) // want `synchronous Stack\.External inside handler B\.forker`
+		})
+		return nil
+	})
+
+	// Asynchronous spawning is the documented fix: clean.
+	hOK := n.mpA.AddHandler("async", func(ctx *core.Context, msg core.Message) error {
+		ctx.Stack().IsolatedAsync(n.specB, func(ctx *core.Context) error {
+			return nil
+		})
+		return nil
+	})
+
+	n.stack.Register(n.mpA, n.mpB)
+	n.stack.Bind(n.e0, hA, hOK)
+	n.stack.Bind(n.e1, hB)
+	return n
+}
+
+// spawn's root closure is itself a computation context.
+func (n *nest) spawn() <-chan error {
+	return n.stack.IsolatedAsync(core.Access(n.mpA), func(ctx *core.Context) error {
+		return ctx.Stack().Isolated(n.specB, func(ctx *core.Context) error { // want `synchronous Stack\.Isolated inside the root closure of IsolatedAsync`
+			return nil
+		})
+	})
+}

@@ -1,0 +1,58 @@
+// Package readonly is golden testdata for the readonly check: handlers
+// registered with core.ReadOnly() that do and do not live up to it.
+package readonly
+
+import "repro/internal/core"
+
+type cache struct {
+	n    int
+	hits map[string]int
+}
+
+var total int
+
+func build() {
+	mp := core.NewMicroprotocol("cache")
+	c := &cache{hits: map[string]int{}}
+
+	mp.AddHandler("lying", func(ctx *core.Context, msg core.Message) error {
+		c.n++ // want `handler cache\.lying is declared ReadOnly but writes captured state "c"`
+		return nil
+	}, core.ReadOnly())
+
+	mp.AddHandler("honest", func(ctx *core.Context, msg core.Message) error {
+		sum := c.n + len(c.hits)
+		_ = sum
+		return nil
+	}, core.ReadOnly())
+
+	// Not ReadOnly: writing is its job.
+	mp.AddHandler("writer", func(ctx *core.Context, msg core.Message) error {
+		c.n++
+		return nil
+	})
+
+	// The write hides in a same-package helper; reported at the write.
+	mp.AddHandler("helper", func(ctx *core.Context, msg core.Message) error {
+		bumpTotal()
+		return nil
+	}, core.ReadOnly())
+
+	mp.AddHandler("deleter", func(ctx *core.Context, msg core.Message) error {
+		delete(c.hits, "k") // want `handler cache\.deleter is declared ReadOnly but deletes from captured state "c"`
+		return nil
+	}, core.ReadOnly())
+
+	// A method handler: the receiver is the microprotocol state, never a
+	// local.
+	mp.AddHandler("method", c.touch, core.ReadOnly())
+}
+
+func bumpTotal() {
+	total++ // want `is declared ReadOnly but writes captured state "total"`
+}
+
+func (c *cache) touch(ctx *core.Context, msg core.Message) error {
+	c.hits["k"] = 1 // want `handler cache\.method is declared ReadOnly but writes captured state "c"`
+	return nil
+}

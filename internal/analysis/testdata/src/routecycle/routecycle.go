@@ -1,0 +1,21 @@
+// Package routecycle is golden testdata for the routecycle check:
+// route-graph literals with and without directed handler cycles.
+package routecycle
+
+import "repro/internal/core"
+
+func build() []*core.Spec {
+	mpA := core.NewMicroprotocol("A")
+	mpB := core.NewMicroprotocol("B")
+	hA := mpA.AddHandler("ping", func(ctx *core.Context, msg core.Message) error { return nil })
+	hB := mpB.AddHandler("pong", func(ctx *core.Context, msg core.Message) error { return nil })
+
+	cyclic := core.NewRouteGraph().Root(hA).Edge(hA, hB).Edge(hB, hA) // want `route graph has a handler cycle \(A\.ping → B\.pong → A\.ping\)`
+
+	selfLoop := core.NewRouteGraph().Root(hA).Edge(hA, hA) // want `route graph has a handler cycle \(A\.ping → A\.ping\)`
+
+	// A diamond is acyclic: clean.
+	acyclic := core.NewRouteGraph().Root(hA).Edge(hA, hB)
+
+	return []*core.Spec{core.Route(cyclic), core.Route(selfLoop), core.Route(acyclic)}
+}

@@ -46,7 +46,7 @@ func NewScaleWorkload(v Variant, workers int, shared bool, work time.Duration) *
 			mp := core.NewMicroprotocol(fmt.Sprintf("c%d-s%d", c, i))
 			evs = append(evs, core.NewEventType(fmt.Sprintf("c%d-e%d", c, i)))
 			h := mp.AddHandler("run", func(ctx *core.Context, msg core.Message) error {
-				time.Sleep(work)
+				time.Sleep(work) //samoa:ignore blocking — the sleep is the benchmark's simulated handler work
 				if i+1 < chainLen {
 					return ctx.Trigger(evs[i+1], msg)
 				}

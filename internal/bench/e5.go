@@ -59,7 +59,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		i := i
 		mp := core.NewMicroprotocol(name)
 		h := mp.AddHandler("run", func(ctx *core.Context, msg core.Message) error {
-			time.Sleep(cfg.StageWork)
+			time.Sleep(cfg.StageWork) //samoa:ignore blocking — the sleep is the benchmark's simulated stage work
 			if i+1 < len(names) {
 				return ctx.AsyncTrigger(p.evs[i+1], msg)
 			}

@@ -31,12 +31,12 @@ func NewRWWorkload(ctrl core.Controller, handlerWork time.Duration) *RWWorkload 
 	w.stack = core.NewStack(ctrl)
 	config := core.NewMicroprotocol("config")
 	hGet := config.AddHandler("get", func(*core.Context, core.Message) error {
-		time.Sleep(handlerWork)
+		time.Sleep(handlerWork) //samoa:ignore blocking — the sleep is the benchmark's simulated handler work
 		_ = w.val
 		return nil
 	}, core.ReadOnly())
 	hSet := config.AddHandler("set", func(*core.Context, core.Message) error {
-		time.Sleep(handlerWork)
+		time.Sleep(handlerWork) //samoa:ignore blocking — the sleep is the benchmark's simulated handler work
 		w.val++
 		return nil
 	})

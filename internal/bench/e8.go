@@ -53,7 +53,7 @@ func NewRollbackWorkload(ctrl core.Controller, m int, work time.Duration) *Rollb
 		mp.SetSnapshotter(st)
 		ev := core.NewEventType(fmt.Sprintf("e%d", i))
 		h := mp.AddHandler("update", func(ctx *core.Context, msg core.Message) error {
-			time.Sleep(w.work)
+			time.Sleep(w.work) //samoa:ignore blocking — the sleep is the benchmark's simulated handler work
 			st.v++
 			s := msg.(*rwScript)
 			if s.pos+1 < len(s.seq) {

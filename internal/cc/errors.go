@@ -1,0 +1,14 @@
+package cc
+
+import "repro/internal/core"
+
+// undeclared builds the UndeclaredError every controller returns for a
+// call outside the declared set, naming the spec so the message points
+// at the fix (declare the microprotocol, or stop reaching the handler).
+func undeclared(h *core.Handler, declared []*core.Microprotocol) error {
+	names := make([]string, len(declared))
+	for i, mp := range declared {
+		names[i] = mp.Name()
+	}
+	return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name(), Declared: names}
+}

@@ -117,7 +117,7 @@ func (c *TSO) admissibleLocked(tok *tsoToken) bool {
 // Request validates the declared set.
 func (c *TSO) Request(t core.Token, _, h *core.Handler) error {
 	if !t.(*tsoToken).declares(h.MP()) {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, t.(*tsoToken).mps)
 	}
 	return nil
 }

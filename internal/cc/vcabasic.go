@@ -57,7 +57,7 @@ func (c *VCABasic) Spawn(spec *core.Spec) (core.Token, error) {
 // (paper §4: an error is raised in the thread that issued the call).
 func (c *VCABasic) Request(t core.Token, _, h *core.Handler) error {
 	if t.(*basicToken).fp.pos(h.MP()) < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, t.(*basicToken).fp.mps)
 	}
 	return nil
 }
@@ -67,7 +67,7 @@ func (c *VCABasic) Enter(t core.Token, _, h *core.Handler) error {
 	tok := t.(*basicToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
 	return nil

@@ -80,7 +80,7 @@ func (c *VCABound) Request(t core.Token, _, h *core.Handler) error {
 	tok := t.(*boundToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	tok.mu.Lock()
 	defer tok.mu.Unlock()
@@ -99,7 +99,7 @@ func (c *VCABound) Enter(t core.Token, _, h *core.Handler) error {
 	tok := t.(*boundToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	tok.fp.states[i].waitAtLeast(tok.pv[i] - tok.fp.bounds[i])
 	return nil

@@ -100,7 +100,7 @@ func (c *VCARoute) Request(t core.Token, caller, h *core.Handler) error {
 	tok := t.(*routeToken)
 	r := tok.fp.route
 	if tok.fp.pos(h.MP()) < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	v, inGraph := r.hpos[h]
 	tok.mu.Lock()
@@ -160,7 +160,7 @@ func (c *VCARoute) Enter(t core.Token, _, h *core.Handler) error {
 	tok := t.(*routeToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
 	return nil

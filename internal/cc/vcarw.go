@@ -126,7 +126,7 @@ func (c *VCARW) Request(t core.Token, _, h *core.Handler) error {
 	tok := t.(*rwToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	if tok.fp.reader[i] && !h.IsReadOnly() {
 		return &core.ReadOnlyViolationError{MP: h.MP().Name(), Handler: h.Name()}
@@ -140,7 +140,7 @@ func (c *VCARW) Enter(t core.Token, _, h *core.Handler) error {
 	tok := t.(*rwToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.fp.mps)
 	}
 	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
 	return nil

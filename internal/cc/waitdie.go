@@ -131,7 +131,7 @@ func (c *WaitDie) Spawn(spec *core.Spec) (core.Token, error) {
 func (c *WaitDie) Request(t core.Token, _, h *core.Handler) error {
 	tok := t.(*wdToken)
 	if tok.pos(h.MP()) < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.mps)
 	}
 	return nil
 }
@@ -146,7 +146,7 @@ func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
 	mp := h.MP()
 	i := tok.pos(mp)
 	if i < 0 {
-		return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name()}
+		return undeclared(h, tok.mps)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -277,7 +277,7 @@ func (c *WaitDie) PrepareRetry(t core.Token) (core.Token, bool) {
 		if backoff > 10*time.Millisecond {
 			backoff = 10 * time.Millisecond
 		}
-		time.Sleep(backoff)
+		time.Sleep(backoff) //samoa:ignore blocking — production-only backoff; under a scheduler useBackoff is false and the park above is the seam
 	}
 	return &wdToken{
 		ts:      tok.ts,

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // ErrActiveComputations is returned by Stack.Rebind while computations are
@@ -41,12 +42,19 @@ func (e *AmbiguousError) Error() string {
 // UndeclaredError reports a computation calling a handler of a
 // microprotocol that is not in its declared collection M (paper §4: "An
 // error exception is thrown in the thread that called isolated").
+// Declared lists the spec's microprotocol names so the message points
+// at the fix: add MP to the spec, or stop reaching the handler.
 type UndeclaredError struct {
-	MP      string // microprotocol name
-	Handler string // handler name
+	MP       string   // microprotocol name
+	Handler  string   // handler name
+	Declared []string // the computation's declared microprotocol names
 }
 
 func (e *UndeclaredError) Error() string {
+	if len(e.Declared) > 0 {
+		return fmt.Sprintf("samoa: handler %s.%s not declared in the computation's spec — microprotocol %s is missing from [%s]",
+			e.MP, e.Handler, e.MP, strings.Join(e.Declared, " "))
+	}
 	return fmt.Sprintf("samoa: handler %s.%s not declared in the computation's spec", e.MP, e.Handler)
 }
 

@@ -15,6 +15,8 @@ func TestErrorStrings(t *testing.T) {
 		{&core.UnboundError{Event: "ev"}, []string{"no handler", `"ev"`}},
 		{&core.AmbiguousError{Event: "ev", N: 3}, []string{"3 handlers", "TriggerAll"}},
 		{&core.UndeclaredError{MP: "relcomm", Handler: "send"}, []string{"relcomm.send", "not declared"}},
+		{&core.UndeclaredError{MP: "relcomm", Handler: "send", Declared: []string{"net", "ret"}},
+			[]string{"relcomm.send", "not declared", "relcomm is missing from [net ret]"}},
 		{&core.BoundExhaustedError{MP: "relcomm", Bound: 4}, []string{"bound 4", "relcomm", "exhausted"}},
 		{&core.NoRouteError{From: "P.hp", To: "Q.hq"}, []string{"P.hp", "Q.hq", "no route"}},
 		{&core.NoRouteError{To: "Q.hq"}, []string{"<root>", "Q.hq"}},

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -113,7 +114,12 @@ func (s *Stack) Bind(et *EventType, hs ...*Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.sealed.Load() {
-		panic(fmt.Sprintf("samoa: Bind %q after stack sealed (use Rebind)", et.Name()))
+		names := make([]string, len(hs))
+		for i, h := range hs {
+			names[i] = h.String()
+		}
+		panic(fmt.Sprintf("samoa: Bind %q → [%s] on stack %q after its first computation sealed the binding table (use Rebind)",
+			et.Name(), strings.Join(names, " "), s.name))
 	}
 	s.bindLocked(et, hs)
 }

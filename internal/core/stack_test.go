@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/cc"
@@ -183,4 +184,30 @@ func TestComputationIDsIncrease(t *testing.T) {
 	if len(ids) != 3 || !(ids[0] < ids[1] && ids[1] < ids[2]) {
 		t.Fatalf("ids = %v", ids)
 	}
+}
+
+// TestBindAfterSealPanicNamesBinding checks the construction-order panic
+// names the event, the handlers being bound and the stack — enough to
+// find the late Bind without a stack trace.
+func TestBindAfterSealPanicNamesBinding(t *testing.T) {
+	s := core.NewStack(cc.NewNone(), core.WithName("audit"))
+	p := core.NewMicroprotocol("p")
+	h := p.AddHandler("h", nopHandler)
+	s.Register(p)
+	et := core.NewEventType("e")
+	s.Bind(et, h)
+	if err := s.External(core.Access(p), et, nil); err != nil {
+		t.Fatal(err)
+	}
+	late := core.NewEventType("late")
+	defer func() {
+		msg, _ := recover().(string)
+		for _, want := range []string{`"late"`, "p.h", `"audit"`, "Rebind"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	s.Bind(late, h)
+	t.Fatal("Bind after seal did not panic")
 }
