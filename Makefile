@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet samoa-vet test race bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep examples clean
+.PHONY: all build vet samoa-vet test race bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep examples clean
 
 all: build vet samoa-vet test
 
@@ -70,6 +70,17 @@ explore:
 
 explore-deep:
 	EXPLORE_DEEP=1 $(GO) test ./internal/cctest -run TestExploreDeep -v -timeout 30m
+
+# Chaos-injection harness (internal/chaos, DESIGN.md §10): randomized
+# panics, delays and deadlines against every isolating controller, then
+# probe for wedges, leaked version slots and isolation violations.
+# `chaos` is the per-push smoke run; `chaos-deep` sweeps many more seeds.
+# Reproduce one failure with CHAOS_SEED=<n> make chaos.
+chaos:
+	$(GO) test ./internal/chaos -run TestChaos -count=1 -v
+
+chaos-deep:
+	CHAOS_DEEP=1 $(GO) test ./internal/chaos -run TestChaos -count=1 -v -timeout 30m
 
 examples:
 	$(GO) run ./examples/quickstart

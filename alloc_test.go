@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -75,7 +76,7 @@ func TestSpawnCompleteAllocBudget(t *testing.T) {
 	}
 	spec := core.Access(mps...)
 	avg := testing.AllocsPerRun(200, func() {
-		tok, err := ctrl.Spawn(spec)
+		tok, err := ctrl.Spawn(context.Background(), spec)
 		if err != nil {
 			t.Error(err)
 		}

@@ -4,6 +4,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -260,7 +261,7 @@ func BenchmarkSpawnComplete(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tok, err := ctrl.Spawn(spec)
+				tok, err := ctrl.Spawn(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -4,6 +4,7 @@
 package blocking
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -69,11 +70,11 @@ type slowCtrl struct {
 
 func (c *slowCtrl) Name() string { return "slow" }
 
-func (c *slowCtrl) Spawn(spec *core.Spec) (core.Token, error) { return nil, nil }
+func (c *slowCtrl) Spawn(ctx context.Context, spec *core.Spec) (core.Token, error) { return nil, nil }
 
 func (c *slowCtrl) Request(t core.Token, caller, h *core.Handler) error { return nil }
 
-func (c *slowCtrl) Enter(t core.Token, caller, h *core.Handler) error {
+func (c *slowCtrl) Enter(ctx context.Context, t core.Token, caller, h *core.Handler) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	<-c.cond // want `raw channel receive inside controller slowCtrl\.Enter`

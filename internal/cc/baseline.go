@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -30,11 +31,15 @@ func (c *Serial) SetBlocker(b sched.Blocker) {
 	c.mu.Unlock()
 }
 
-// Spawn blocks until the stack is quiescent, then admits the computation.
-func (c *Serial) Spawn(*core.Spec) (core.Token, error) {
+// Spawn blocks until the stack is quiescent, then admits the computation;
+// a cancelled wait leaves no claim behind.
+func (c *Serial) Spawn(ctx context.Context, _ *core.Spec) (core.Token, error) {
 	c.mu.Lock()
 	for c.busy {
-		c.note.waitLocked(&c.mu)
+		if err := c.note.waitLockedCtx(&c.mu, ctx); err != nil {
+			c.mu.Unlock()
+			return nil, deadline("spawn", nil, err)
+		}
 	}
 	c.busy = true
 	c.mu.Unlock()
@@ -45,7 +50,7 @@ func (c *Serial) Spawn(*core.Spec) (core.Token, error) {
 func (c *Serial) Request(core.Token, *core.Handler, *core.Handler) error { return nil }
 
 // Enter implements core.Controller (no per-call control).
-func (c *Serial) Enter(core.Token, *core.Handler, *core.Handler) error { return nil }
+func (c *Serial) Enter(context.Context, core.Token, *core.Handler, *core.Handler) error { return nil }
 
 // Exit implements core.Controller (no per-call control).
 func (c *Serial) Exit(core.Token, *core.Handler) {}
@@ -75,13 +80,13 @@ func NewNone() *None { return &None{} }
 func (c *None) Name() string { return "none" }
 
 // Spawn implements core.Controller (no control).
-func (c *None) Spawn(*core.Spec) (core.Token, error) { return nil, nil }
+func (c *None) Spawn(context.Context, *core.Spec) (core.Token, error) { return nil, nil }
 
 // Request implements core.Controller (no control).
 func (c *None) Request(core.Token, *core.Handler, *core.Handler) error { return nil }
 
 // Enter implements core.Controller (no control).
-func (c *None) Enter(core.Token, *core.Handler, *core.Handler) error { return nil }
+func (c *None) Enter(context.Context, core.Token, *core.Handler, *core.Handler) error { return nil }
 
 // Exit implements core.Controller (no control).
 func (c *None) Exit(core.Token, *core.Handler) {}

@@ -12,3 +12,13 @@ func undeclared(h *core.Handler, declared []*core.Microprotocol) error {
 	}
 	return &core.UndeclaredError{MP: h.MP().Name(), Handler: h.Name(), Declared: names}
 }
+
+// deadline wraps a context error from a cancelled admission wait into the
+// typed error the core contract prescribes (stage "spawn" or "enter").
+func deadline(stage string, h *core.Handler, err error) error {
+	name := ""
+	if h != nil {
+		name = h.String()
+	}
+	return &core.DeadlineError{Stage: stage, Handler: name, Err: err}
+}

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/sched"
@@ -17,9 +18,26 @@ import (
 // sched.DefaultBlocker this costs the same pooled channel operations as
 // before, while under a *sched.Scheduler every wait is a virtual park
 // the exploration strategies can order.
+//
+// waitLockedCtx additionally bounds the wait by a context, so an
+// admission loop can abandon cleanly instead of blocking forever behind a
+// stuck computation (fault containment, DESIGN.md §10).
 type notifier struct {
 	blk sched.Blocker
-	ws  []sched.Waiter
+	ws  []notifyEntry
+}
+
+// notifyEntry is one parked thread; c is non-nil only for cancellable
+// waits. Fields of notifyCancel are guarded by the controller mutex
+// passed to waitLocked/waitLockedCtx.
+type notifyEntry struct {
+	w sched.Waiter
+	c *notifyCancel
+}
+
+type notifyCancel struct {
+	done     bool // left the wait set (broadcast or cancellation)
+	canceled bool // left because the context expired
 }
 
 func newNotifier() *notifier { return &notifier{blk: sched.DefaultBlocker()} }
@@ -29,18 +47,70 @@ func newNotifier() *notifier { return &notifier{blk: sched.DefaultBlocker()} }
 // their predicate loops (another thread can win the race after wakeup).
 func (n *notifier) waitLocked(mu *sync.Mutex) {
 	w := n.blk.NewWaiter()
-	n.ws = append(n.ws, w)
+	n.ws = append(n.ws, notifyEntry{w: w})
 	mu.Unlock()
 	w.Park()
 	mu.Lock()
 }
 
+// waitLockedCtx is waitLocked bounded by a context: it returns nil after
+// a broadcast and ctx.Err() when the context expires first. Either way mu
+// is held again on return. Unbounded contexts take the exact waitLocked
+// path (no watchdog, no nondeterminism under the explorer).
+func (n *notifier) waitLockedCtx(mu *sync.Mutex, ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		n.waitLocked(mu)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := n.blk.NewWaiter()
+	c := &notifyCancel{}
+	n.ws = append(n.ws, notifyEntry{w: w, c: c})
+	mu.Unlock()
+
+	stop := make(chan struct{})
+	//samoa:ignore blocking — cancellation watchdog; the park below stays on the Blocker seam, and unbounded contexts never reach this path
+	go func() {
+		select { //samoa:ignore blocking — watchdog body: waits on ctx expiry, a seam the Blocker cannot express; unbounded contexts never start it
+		case <-ctx.Done():
+			mu.Lock()
+			if !c.done {
+				for j := range n.ws {
+					if n.ws[j].c == c {
+						copy(n.ws[j:], n.ws[j+1:])
+						n.ws[len(n.ws)-1] = notifyEntry{}
+						n.ws = n.ws[:len(n.ws)-1]
+						break
+					}
+				}
+				c.done = true
+				c.canceled = true
+				w.Wake()
+			}
+			mu.Unlock()
+		case <-stop: //samoa:ignore blocking — watchdog shutdown signal from the waking thread
+		}
+	}()
+	w.Park()
+	close(stop)
+	mu.Lock()
+	if c.canceled {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // broadcastLocked wakes every parked thread. The controller's mutex must
 // be held, which orders the wake set against concurrent waitLocked calls.
 func (n *notifier) broadcastLocked() {
-	for i, w := range n.ws {
-		w.Wake()
-		n.ws[i] = nil
+	for i, e := range n.ws {
+		if e.c != nil {
+			e.c.done = true // beat the cancellation watchdog to the entry
+		}
+		e.w.Wake()
+		n.ws[i] = notifyEntry{}
 	}
 	n.ws = n.ws[:0]
 }

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -80,24 +81,34 @@ func (a *tsoToken) declares(mp *core.Microprotocol) bool {
 	return false
 }
 
-// Spawn blocks until the computation is admissible.
-func (c *TSO) Spawn(spec *core.Spec) (core.Token, error) {
+// Spawn blocks until the computation is admissible or ctx expires. A
+// cancelled spawn leaves the waiting list and re-broadcasts: its presence
+// may have been the only thing blocking a younger conflicting waiter.
+func (c *TSO) Spawn(ctx context.Context, spec *core.Spec) (core.Token, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextTS++
 	tok := &tsoToken{ts: c.nextTS, mps: spec.MPs()}
 	c.waiting = append(c.waiting, tok)
 	for !c.admissibleLocked(tok) {
-		c.note.waitLocked(&c.mu)
+		if err := c.note.waitLockedCtx(&c.mu, ctx); err != nil {
+			c.removeWaitingLocked(tok)
+			c.note.broadcastLocked()
+			return nil, deadline("spawn", nil, err)
+		}
 	}
+	c.removeWaitingLocked(tok)
+	c.admitted[tok] = true
+	return tok, nil
+}
+
+func (c *TSO) removeWaitingLocked(tok *tsoToken) {
 	for i, w := range c.waiting {
 		if w == tok {
 			c.waiting = append(c.waiting[:i], c.waiting[i+1:]...)
 			break
 		}
 	}
-	c.admitted[tok] = true
-	return tok, nil
 }
 
 func (c *TSO) admissibleLocked(tok *tsoToken) bool {
@@ -123,7 +134,7 @@ func (c *TSO) Request(t core.Token, _, h *core.Handler) error {
 }
 
 // Enter implements core.Controller; admission happened at Spawn.
-func (c *TSO) Enter(core.Token, *core.Handler, *core.Handler) error { return nil }
+func (c *TSO) Enter(context.Context, core.Token, *core.Handler, *core.Handler) error { return nil }
 
 // Exit implements core.Controller (no per-call bookkeeping).
 func (c *TSO) Exit(core.Token, *core.Handler) {}

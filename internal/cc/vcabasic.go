@@ -1,6 +1,8 @@
 package cc
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/sched"
 )
@@ -40,8 +42,9 @@ type basicToken struct {
 }
 
 // Spawn implements rule 1: an array walk over the compiled footprint
-// under the table lock — two allocations, no map churn.
-func (c *VCABasic) Spawn(spec *core.Spec) (core.Token, error) {
+// under the table lock — two allocations, no map churn. Spawn never
+// blocks, so the context is not consulted.
+func (c *VCABasic) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	fp := c.vt.footprint(spec)
 	t := &basicToken{fp: fp, pv: make([]uint64, len(fp.slots))}
 	c.vt.mu.Lock()
@@ -62,14 +65,18 @@ func (c *VCABasic) Request(t core.Token, _, h *core.Handler) error {
 	return nil
 }
 
-// Enter implements rule 2: block until the private version matches.
-func (c *VCABasic) Enter(t core.Token, _, h *core.Handler) error {
+// Enter implements rule 2: block until the private version matches, or
+// the computation's context expires (the versions stay claimed either
+// way; Complete releases them).
+func (c *VCABasic) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*basicToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-1); err != nil {
+		return deadline("enter", h, err)
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -49,7 +50,7 @@ type boundToken struct {
 // Spawn implements rule 1. The footprint is validated in full before any
 // counter moves, so an invalid spec cannot leave gv advanced with no
 // matching release.
-func (c *VCABound) Spawn(spec *core.Spec) (core.Token, error) {
+func (c *VCABound) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	if !spec.HasBounds() {
 		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no visit bounds; build it with core.AccessBound"}
 	}
@@ -95,13 +96,15 @@ func (c *VCABound) Request(t core.Token, _, h *core.Handler) error {
 // suffices: lv < pv is invariant while the computation still holds
 // unconsumed budget, because lv only passes pv−1 through this
 // computation's own rule-4 increments or its rule-3 completion.
-func (c *VCABound) Enter(t core.Token, _, h *core.Handler) error {
+func (c *VCABound) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*boundToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	tok.fp.states[i].waitAtLeast(tok.pv[i] - tok.fp.bounds[i])
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-tok.fp.bounds[i]); err != nil {
+		return deadline("enter", h, err)
+	}
 	return nil
 }
 

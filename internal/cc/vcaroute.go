@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -65,7 +66,8 @@ type routeToken struct {
 }
 
 // Spawn implements rule 1 of VCAbasic over the graph's microprotocols.
-func (c *VCARoute) Spawn(spec *core.Spec) (core.Token, error) {
+// It never blocks, so the context is not consulted.
+func (c *VCARoute) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	if spec.Graph() == nil {
 		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no routing graph; build it with core.Route"}
 	}
@@ -155,14 +157,18 @@ func (tok *routeToken) routeExistsLocked(src, dst int) bool {
 }
 
 // Enter implements the versioning part of rule 2 (condition (1) of
-// VCAbasic).
-func (c *VCARoute) Enter(t core.Token, _, h *core.Handler) error {
+// VCAbasic). A cancelled wait leaves the Request-time activity count in
+// place — conservative for rule 4(b), and Complete force-releases every
+// unreleased microprotocol regardless.
+func (c *VCARoute) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*routeToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-1); err != nil {
+		return deadline("enter", h, err)
+	}
 	return nil
 }
 

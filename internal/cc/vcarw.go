@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -87,8 +88,9 @@ func readerOf(spec *core.Spec, mp *core.Microprotocol) bool {
 	return true
 }
 
-// Spawn implements rule 1 with reader-group sharing.
-func (c *VCARW) Spawn(spec *core.Spec) (core.Token, error) {
+// Spawn implements rule 1 with reader-group sharing. It never blocks, so
+// the context is not consulted.
+func (c *VCARW) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	fp := c.vt.footprint(spec)
 	t := &rwToken{fp: fp, pv: make([]uint64, len(fp.slots))}
 	c.vt.mu.Lock()
@@ -136,13 +138,15 @@ func (c *VCARW) Request(t core.Token, _, h *core.Handler) error {
 
 // Enter implements rule 2; every member of a reader group satisfies it
 // simultaneously, since they share the private version.
-func (c *VCARW) Enter(t core.Token, _, h *core.Handler) error {
+func (c *VCARW) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*rwToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	tok.fp.states[i].waitAtLeast(tok.pv[i] - 1)
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-1); err != nil {
+		return deadline("enter", h, err)
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,10 +47,19 @@ type release struct {
 // waitEntry is one parked computation thread: the lv threshold it needs
 // and the one-shot waiter it parked on. The waiter comes from the
 // state's Blocker — pooled channels in production, virtual scheduler
-// park points under deterministic exploration.
+// park points under deterministic exploration. c is non-nil only for
+// cancellable waits (waitAtLeastCtx).
 type waitEntry struct {
 	min uint64
 	w   sched.Waiter
+	c   *waitCancel
+}
+
+// waitCancel coordinates a parked waiter with its cancellation watchdog.
+// All fields are guarded by the owning mpState's mu.
+type waitCancel struct {
+	done     bool // the entry left the queue (woken or cancelled)
+	canceled bool // it left because the context expired
 }
 
 func newMPState(blk sched.Blocker) *mpState { return &mpState{blk: blk} }
@@ -72,6 +82,73 @@ func (st *mpState) waitAtLeast(min uint64) {
 	st.waiters[i] = waitEntry{min: min, w: w}
 	st.mu.Unlock()
 	w.Park()
+}
+
+// waitAtLeastCtx is waitAtLeast bounded by a context: it returns nil once
+// lv >= min, or the context's error if ctx expires first — the caller's
+// admission wait becomes a clean abort instead of a permanent block.
+//
+// Unbounded contexts (Done() == nil, e.g. context.Background) take the
+// exact waitAtLeast path: no watchdog goroutine, no extra allocation, and
+// — critically for the deterministic explorer — no scheduling nondeterminism.
+// A cancellable wait parks on the same ordered queue; a watchdog goroutine
+// removes the entry and wakes the parked thread when ctx fires first.
+func (st *mpState) waitAtLeastCtx(ctx context.Context, min uint64) error {
+	if ctx == nil || ctx.Done() == nil {
+		st.waitAtLeast(min)
+		return nil
+	}
+	if st.lv.Load() >= min {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	if st.lv.Load() >= min {
+		st.mu.Unlock()
+		return nil
+	}
+	w := st.blk.NewWaiter()
+	c := &waitCancel{}
+	i := sort.Search(len(st.waiters), func(i int) bool { return st.waiters[i].min > min })
+	st.waiters = append(st.waiters, waitEntry{})
+	copy(st.waiters[i+1:], st.waiters[i:])
+	st.waiters[i] = waitEntry{min: min, w: w, c: c}
+	st.mu.Unlock()
+
+	stop := make(chan struct{})
+	//samoa:ignore blocking — cancellation watchdog; the admission park below stays on the Blocker seam, and unbounded contexts never reach this path
+	go func() {
+		select { //samoa:ignore blocking — watchdog body: waits on ctx expiry, a seam the Blocker cannot express; unbounded contexts never start it
+		case <-ctx.Done():
+			st.mu.Lock()
+			if !c.done {
+				for j := range st.waiters {
+					if st.waiters[j].c == c {
+						copy(st.waiters[j:], st.waiters[j+1:])
+						st.waiters[len(st.waiters)-1] = waitEntry{}
+						st.waiters = st.waiters[:len(st.waiters)-1]
+						break
+					}
+				}
+				c.done = true
+				c.canceled = true
+				w.Wake()
+			}
+			st.mu.Unlock()
+		case <-stop: //samoa:ignore blocking — watchdog shutdown signal from the waking thread
+		}
+	}()
+	w.Park()
+	close(stop)
+	st.mu.Lock()
+	canceled := c.canceled
+	st.mu.Unlock()
+	if canceled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // bump increments lv by one (rule 4 of VCAbound: a handler execution
@@ -122,6 +199,9 @@ func (st *mpState) advanceLocked(newLv uint64) {
 	st.lv.Store(lv)
 	n := 0
 	for n < len(st.waiters) && st.waiters[n].min <= lv {
+		if c := st.waiters[n].c; c != nil {
+			c.done = true // beat the cancellation watchdog to the entry
+		}
 		st.waiters[n].w.Wake()
 		n++
 	}

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -104,8 +105,9 @@ func (t *wdToken) pos(mp *core.Microprotocol) int {
 }
 
 // Spawn validates that every declared microprotocol is snapshottable and
-// assigns the computation's timestamp.
-func (c *WaitDie) Spawn(spec *core.Spec) (core.Token, error) {
+// assigns the computation's timestamp. It never blocks, so the context is
+// not consulted.
+func (c *WaitDie) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	mps := spec.MPs()
 	for _, mp := range mps {
 		if mp.Snapshotter() == nil {
@@ -141,7 +143,13 @@ func (c *WaitDie) Request(t core.Token, _, h *core.Handler) error {
 // the oldest waiter (see grantNextLocked), so a repeatedly dying young
 // computation cannot livelock an older one by re-grabbing the lock before
 // the waiter wakes.
-func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
+//
+// A cancelled wait returns a *DeadlineError; if a release granted the
+// lock while the thread was parked, the grant is passed on so the lock is
+// not stranded. Locks the computation already holds stay held until
+// Complete, so — as always under wait–die — no other computation observes
+// its partial effects before they commit.
+func (c *WaitDie) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*wdToken)
 	mp := h.MP()
 	i := tok.pos(mp)
@@ -180,7 +188,17 @@ func (c *WaitDie) Enter(t core.Token, _, h *core.Handler) error {
 				c.waiters[mp] = w
 			}
 			w[tok] = true
-			c.note.waitLocked(&c.mu)
+			if err := c.note.waitLockedCtx(&c.mu, ctx); err != nil {
+				if c.locks[mp] == tok {
+					// A release granted us the lock while we were parked;
+					// hand it on rather than strand it.
+					tok.held[i] = false
+					c.grantNextLocked(mp)
+				} else {
+					c.dropWaiterLocked(mp, tok)
+				}
+				return deadline("enter", h, err)
+			}
 		default:
 			// Younger dies: roll back and retry with the same ts.
 			tok.aborted = true

@@ -252,14 +252,25 @@ func runWorkload(t *testing.T, cfg Config, seed int64) {
 			t.Errorf("seed %d: lost update on mp%d: %d != %d", seed, i, got, w)
 		}
 	}
-	rep := f.rec.Check()
+	AssertInvariants(t, f.rec)
+}
+
+// AssertInvariants checks the two controller-independent invariants every
+// recorded execution must satisfy, whatever faults were injected into it:
+// conflict-serializability of the recorded handler executions (the
+// isolation property) and lifecycle balance (every spawned computation
+// completed or aborted). The chaos harness (internal/chaos) shares it
+// with this battery.
+func AssertInvariants(tb testing.TB, rec *trace.Recorder) {
+	tb.Helper()
+	rep := rec.Check()
 	if !rep.Serializable {
-		t.Errorf("seed %d: execution violates the isolation property (cycle %v)", seed, rep.Cycle)
+		tb.Errorf("execution violates the isolation property (cycle %v)", rep.Cycle)
 	}
-	st := f.rec.Stats()
+	st := rec.Stats()
 	if st.Spawned != st.Completed+st.Aborted {
-		t.Errorf("seed %d: lifecycle imbalance: %d spawned, %d completed, %d aborted",
-			seed, st.Spawned, st.Completed, st.Aborted)
+		tb.Errorf("lifecycle imbalance: %d spawned, %d completed, %d aborted",
+			st.Spawned, st.Completed, st.Aborted)
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Computation is the run-time identity of one execution of Isolated: the
 // paper's computation, i.e. an external event together with everything
@@ -12,6 +15,7 @@ type Computation struct {
 	stack *Stack
 	token Token
 	spec  *Spec
+	ctx   context.Context // bounds the computation; context.Background() if unbounded
 
 	// rootInv is the root expression's invocation, embedded so spawning
 	// a computation does not allocate it separately.
@@ -32,6 +36,32 @@ func (c *Computation) ID() uint64 { return c.id }
 
 // Spec reports the spec the computation was spawned with.
 func (c *Computation) Spec() *Spec { return c.spec }
+
+// Ctx returns the context bounding the computation (never nil). Handlers
+// with long-running bodies should poll it and return early when it is
+// done; the dispatch path checks it before every handler call regardless.
+func (c *Computation) Ctx() context.Context { return c.ctx }
+
+// ctxErr converts an expired computation context into the *DeadlineError
+// the dispatch path records before a handler call. It is the cooperative
+// half of cancellation: blocking waits inside controllers observe the
+// context themselves, and this check stops a cancelled computation from
+// issuing further calls between those waits.
+func (c *Computation) ctxErr(h *Handler) error {
+	if c.ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.ctx.Done():
+		name := "<root>"
+		if h != nil {
+			name = h.String()
+		}
+		return &DeadlineError{Stage: "dispatch", Handler: name, Err: c.ctx.Err()}
+	default:
+		return nil
+	}
+}
 
 // record stores the first non-nil error of the computation.
 func (c *Computation) record(err error) {

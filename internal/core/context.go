@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 )
 
@@ -23,6 +25,11 @@ func (c *Context) Stack() *Stack { return c.comp.stack }
 // Handler returns the handler this context was passed to, or nil in the
 // computation's root expression.
 func (c *Context) Handler() *Handler { return c.inv.handler }
+
+// Ctx returns the context bounding this computation — the one passed to
+// IsolatedCtx, further bounded by Spec.WithTimeout. Long-running handler
+// bodies should poll it and return early once it is done.
+func (c *Context) Ctx() context.Context { return c.comp.ctx }
 
 // Trigger synchronously executes the single handler bound to et — the
 // paper's "trigger" construct. It returns an UnboundError or
@@ -91,13 +98,13 @@ func (c *Context) Fork(fn func(ctx *Context) error) {
 			defer c.inv.forks.Done()
 			defer hk.TaskEnd(task)
 			hk.TaskBegin(task)
-			c.comp.record(fn(&Context{comp: c.comp, inv: c.inv}))
+			c.comp.record(c.comp.stack.callFork(c.comp, c.inv, fn))
 		}()
 		return
 	}
 	go func() {
 		defer c.inv.forks.Done()
-		c.comp.record(fn(&Context{comp: c.comp, inv: c.inv}))
+		c.comp.record(c.comp.stack.callFork(c.comp, c.inv, fn))
 	}()
 }
 
@@ -128,14 +135,18 @@ var framePool = sync.Pool{New: func() any { return new(frame) }}
 // callSync executes one handler call synchronously in the current thread.
 func (s *Stack) callSync(comp *Computation, caller *invocation, et *EventType, h *Handler, msg Message) error {
 	callerH := caller.handler
+	if err := comp.ctxErr(h); err != nil {
+		comp.record(err)
+		return err
+	}
 	if err := s.ctrl.Request(comp.token, callerH, h); err != nil {
 		comp.record(err)
 		return err
 	}
-	if hk := s.hook; hk != nil {
-		hk.Yield(YieldEnter)
+	if err := s.yieldSafe(comp, YieldEnter); err != nil {
+		return err
 	}
-	if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
+	if err := s.ctrl.Enter(comp.ctx, comp.token, callerH, h); err != nil {
 		comp.record(err)
 		return err
 	}
@@ -147,6 +158,10 @@ func (s *Stack) callSync(comp *Computation, caller *invocation, et *EventType, h
 // handler in a new computation thread.
 func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, h *Handler, msg Message) error {
 	callerH := caller.handler
+	if err := comp.ctxErr(h); err != nil {
+		comp.record(err)
+		return err
+	}
 	if err := s.ctrl.Request(comp.token, callerH, h); err != nil {
 		comp.record(err)
 		return err
@@ -158,7 +173,7 @@ func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, 
 			defer comp.wg.Done()
 			defer hk.TaskEnd(task)
 			hk.TaskBegin(task)
-			if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
+			if err := s.ctrl.Enter(comp.ctx, comp.token, callerH, h); err != nil {
 				comp.record(err)
 				return
 			}
@@ -168,7 +183,7 @@ func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, 
 	}
 	go func() {
 		defer comp.wg.Done()
-		if err := s.ctrl.Enter(comp.token, callerH, h); err != nil {
+		if err := s.ctrl.Enter(comp.ctx, comp.token, callerH, h); err != nil {
 			comp.record(err)
 			return
 		}
@@ -178,7 +193,10 @@ func (s *Stack) callAsync(comp *Computation, caller *invocation, et *EventType, 
 }
 
 // runHandler runs one admitted handler execution: trace start, run the
-// body, wait for the handler's forks, trace end, release via Exit.
+// body (under recover — a panicking handler aborts only its computation),
+// wait for the handler's forks, trace end, release via Exit. Exit runs on
+// every path after a successful Enter, panic included, so the controller
+// never leaks the admission.
 func (s *Stack) runHandler(comp *Computation, et *EventType, h *Handler, msg Message) error {
 	f := framePool.Get().(*frame)
 	f.inv.handler = h
@@ -186,12 +204,15 @@ func (s *Stack) runHandler(comp *Computation, et *EventType, h *Handler, msg Mes
 	f.ctx.inv = &f.inv
 	invID := s.invSeq.Add(1)
 	s.tracer.HandlerStart(comp.id, invID, et, h)
-	err := h.fn(&f.ctx, msg)
+	err := s.callHandler(&f.ctx, et, h, msg)
+	// Join the handler's forks even after a panic: already-forked threads
+	// may still hold the frame, and the controller counts them as part of
+	// this handler execution (rule 4 of VCAbound).
 	s.waitInv(&f.inv)
 	s.tracer.HandlerEnd(comp.id, invID, h)
 	s.ctrl.Exit(comp.token, h)
-	if hk := s.hook; hk != nil {
-		hk.Yield(YieldExit)
+	if yerr := s.yieldSafe(comp, YieldExit); yerr != nil && err == nil {
+		err = yerr
 	}
 	f.inv.handler = nil
 	f.ctx = Context{}
@@ -200,4 +221,39 @@ func (s *Stack) runHandler(comp *Computation, et *EventType, h *Handler, msg Mes
 		comp.record(err)
 	}
 	return err
+}
+
+// callHandler runs the handler body under recover, converting a panic
+// into a *PanicError carrying the handler/event/stack identity and the
+// goroutine stack at the panic.
+func (s *Stack) callHandler(ctx *Context, et *EventType, h *Handler, msg Message) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{
+				Stack:       s.name,
+				Handler:     h.String(),
+				Event:       et.Name(),
+				Computation: ctx.comp.id,
+				Value:       v,
+				Trace:       debug.Stack(),
+			}
+		}
+	}()
+	return h.fn(ctx, msg)
+}
+
+// callFork runs a forked thread's body under recover.
+func (s *Stack) callFork(comp *Computation, inv *invocation, fn func(ctx *Context) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{
+				Stack:       s.name,
+				Handler:     "<fork>",
+				Computation: comp.id,
+				Value:       v,
+				Trace:       debug.Stack(),
+			}
+		}
+	}()
+	return fn(&Context{comp: comp, inv: inv})
 }

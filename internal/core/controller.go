@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Token is the controller's per-computation state, created by Spawn and
 // threaded through every subsequent controller call for that computation.
 type Token any
@@ -10,10 +12,10 @@ type Token any
 //
 // Call protocol, per computation:
 //
-//	t, err := Spawn(spec)            // once, atomic w.r.t. other spawns
+//	t, err := Spawn(ctx, spec)       // once, atomic w.r.t. other spawns
 //	for every handler call:
 //	    Request(t, caller, h)        // in the thread issuing the trigger
-//	    Enter(t, caller, h)          // may block; in the executing thread
+//	    Enter(ctx, t, caller, h)     // may block; in the executing thread
 //	    ... handler runs ...
 //	    Exit(t, h)                   // after the handler and its forks end
 //	RootReturned(t)                  // after the root expression returns
@@ -24,6 +26,14 @@ type Token any
 // in the calling thread, as the paper prescribes for the isolated
 // constructs. Enter blocks until the call is admissible. Controllers must
 // be deadlock-free for any set of well-formed computations.
+//
+// The context bounds every potentially-blocking call (fault containment,
+// DESIGN.md §10): Spawn and Enter must abandon their wait and return a
+// *DeadlineError once ctx is done. A cancelled Spawn leaves no
+// per-computation state behind; a cancelled Enter leaves the token in a
+// state where RootReturned and Complete still release everything the
+// computation already claimed — Complete is called on every token that
+// Spawn returned, cancelled or not.
 type Controller interface {
 	// Name identifies the algorithm (for traces and benchmarks).
 	Name() string
@@ -31,15 +41,15 @@ type Controller interface {
 	// Spawn atomically registers a new computation with its declared
 	// spec and returns its token. Spawns are totally ordered; the order
 	// fixes the equivalent serial order of the computations.
-	Spawn(spec *Spec) (Token, error)
+	Spawn(ctx context.Context, spec *Spec) (Token, error)
 
 	// Request validates (and, for routing controllers, reserves) a call
 	// of h issued by caller; caller is nil when the computation's root
 	// expression issues the call.
 	Request(t Token, caller, h *Handler) error
 
-	// Enter blocks until the computation may execute h.
-	Enter(t Token, caller, h *Handler) error
+	// Enter blocks until the computation may execute h, or ctx is done.
+	Enter(ctx context.Context, t Token, caller, h *Handler) error
 
 	// Exit records that an execution of h — including any threads the
 	// handler forked — has finished.

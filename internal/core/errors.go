@@ -18,6 +18,78 @@ var ErrActiveComputations = errors.New("samoa: rebind while computations are act
 // controller asks for a retry, so callers normally never see it.
 var ErrComputationAborted = errors.New("samoa: computation aborted for retry")
 
+// ErrClosed is returned by Isolated/External once Stack.Close has begun:
+// the stack rejects new computations while draining the in-flight ones.
+var ErrClosed = errors.New("samoa: stack closed")
+
+// PanicError reports a panic recovered inside a computation — in a handler
+// body, the root expression, a forked thread, or a scheduling hook. The
+// panic aborts only its own computation: the runtime converts it into this
+// error, drives the controller's end protocol so every claimed resource is
+// released, and returns it from Isolated/External. Value preserves the
+// original panic value and Trace the goroutine stack at recovery.
+type PanicError struct {
+	Stack       string // stack name
+	Handler     string // "mp.handler", or "<root>" / "<fork>" / "<hook>"
+	Event       string // event type being dispatched ("" outside dispatch)
+	Computation uint64 // computation ID
+	Value       any    // the value passed to panic
+	Trace       []byte // debug.Stack() at the recovery point
+}
+
+func (e *PanicError) Error() string {
+	if e.Event != "" {
+		return fmt.Sprintf("samoa: panic in %s handling %q (computation %d, stack %q): %v",
+			e.Handler, e.Event, e.Computation, e.Stack, e.Value)
+	}
+	return fmt.Sprintf("samoa: panic in %s (computation %d, stack %q): %v",
+		e.Handler, e.Computation, e.Stack, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so callers
+// can errors.Is/As through a recovered panic(err). ErrComputationAborted
+// is deliberately not unwrapped: a panic is a fault, never a retry signal.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok && !errors.Is(err, ErrComputationAborted) {
+		return err
+	}
+	return nil
+}
+
+// DeadlineError reports a computation cut short by its context: the
+// deadline of Spec.WithTimeout expired, or the caller's IsolatedCtx
+// context was cancelled. Stage says where the computation was stopped.
+type DeadlineError struct {
+	Stage   string // "spawn", "enter", "dispatch", or "drain"
+	Handler string // handler awaiting admission ("" outside Enter)
+	Err     error  // the context's error (DeadlineExceeded or Canceled)
+}
+
+func (e *DeadlineError) Error() string {
+	if e.Handler != "" {
+		return fmt.Sprintf("samoa: computation cancelled at %s of %s: %v", e.Stage, e.Handler, e.Err)
+	}
+	return fmt.Sprintf("samoa: computation cancelled at %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the context error, so errors.Is(err,
+// context.DeadlineExceeded) works through a DeadlineError.
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// LifecycleError reports an unbalanced controller protocol discovered by
+// Stack.Close: the number of computations that began (Spawn or an accepted
+// retry) differs from the number that ended (Complete or a retired retry
+// token). A non-zero difference means a controller leaked or double-freed
+// per-computation state.
+type LifecycleError struct {
+	Begun uint64
+	Ended uint64
+}
+
+func (e *LifecycleError) Error() string {
+	return fmt.Sprintf("samoa: lifecycle imbalance on close: %d computations begun, %d ended", e.Begun, e.Ended)
+}
+
 // UnboundError reports a trigger of an event type with no bound handler.
 type UnboundError struct {
 	Event string // event type name

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -20,11 +21,11 @@ type flakyController struct {
 type flakyToken struct{ attempt int }
 
 func (c *flakyController) Name() string { return "flaky" }
-func (c *flakyController) Spawn(*core.Spec) (core.Token, error) {
+func (c *flakyController) Spawn(context.Context, *core.Spec) (core.Token, error) {
 	return &flakyToken{}, nil
 }
 func (c *flakyController) Request(core.Token, *core.Handler, *core.Handler) error { return nil }
-func (c *flakyController) Enter(t core.Token, _, _ *core.Handler) error {
+func (c *flakyController) Enter(_ context.Context, t core.Token, _, _ *core.Handler) error {
 	if t.(*flakyToken).attempt < c.abortFirst {
 		return core.ErrComputationAborted
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Spec declares, before a computation starts, which microprotocols it may
 // visit — the collection M of the paper's isolated constructs. One Spec
@@ -18,9 +21,10 @@ import "sort"
 // controller can run an Access spec (treating it with its most
 // conservative interpretation).
 type Spec struct {
-	mps    []*Microprotocol // deduplicated, sorted by ID
-	bounds map[*Microprotocol]int
-	graph  *RouteGraph
+	mps     []*Microprotocol // deduplicated, sorted by ID
+	bounds  map[*Microprotocol]int
+	graph   *RouteGraph
+	timeout time.Duration // 0 = none; see WithTimeout
 }
 
 // Access builds a basic spec: the computation may call any handler of the
@@ -80,6 +84,23 @@ func (s *Spec) HasBounds() bool { return s.bounds != nil }
 
 // Graph returns the routing pattern, or nil for non-route specs.
 func (s *Spec) Graph() *RouteGraph { return s.graph }
+
+// WithTimeout derives a spec whose computations carry a deadline: each
+// Isolated call of the returned spec runs under a context that expires d
+// after the spawn attempt starts. The paper's "isolated M e" assumes e
+// terminates; WithTimeout bounds the damage when it does not — a stuck
+// computation aborts with a *DeadlineError and releases its claims instead
+// of blocking every overlapping computation forever. The receiver is
+// unchanged; both specs share the underlying declaration and compile to
+// the same controller footprint.
+func (s *Spec) WithTimeout(d time.Duration) *Spec {
+	out := *s
+	out.timeout = d
+	return &out
+}
+
+// Timeout reports the per-computation deadline, or 0 for none.
+func (s *Spec) Timeout() time.Duration { return s.timeout }
 
 func dedupMPs(mps []*Microprotocol) []*Microprotocol {
 	seen := make(map[*Microprotocol]bool, len(mps))

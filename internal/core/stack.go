@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +42,16 @@ type Stack struct {
 
 	compSeq atomic.Uint64
 	invSeq  atomic.Uint64
+
+	// Shutdown state (Close). begun/ended count controller lifecycle
+	// legs — a Spawn or an accepted retry begins one, a Complete or a
+	// retired retry token ends one — so Close can verify the balance the
+	// controllers' proofs assume.
+	closed    atomic.Bool
+	begun     atomic.Uint64
+	ended     atomic.Uint64
+	drained   chan struct{}
+	drainOnce sync.Once
 }
 
 // StackOption configures a Stack at creation.
@@ -66,6 +78,7 @@ func NewStack(ctrl Controller, opts ...StackOption) *Stack {
 		tracer:   nopTracer{},
 		bindings: make(map[*EventType][]*Handler),
 		mps:      make(map[string]*Microprotocol),
+		drained:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -215,58 +228,197 @@ func (s *Stack) isSealed() bool { return s.sealed.Load() }
 // computation may be aborted and transparently re-executed; root and the
 // handlers it reaches then run more than once, so their effects must be
 // confined to microprotocol state the controller can restore.
+//
+// Faults are contained (DESIGN.md §10): a panic anywhere in the
+// computation — root, handler body, forked thread — aborts only that
+// computation, surfaces as a *PanicError, and still drives the
+// controller's end protocol so every claimed version is released.
 func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
+	return s.IsolatedCtx(context.Background(), spec, root)
+}
+
+// IsolatedCtx is Isolated bounded by a context: when ctx is cancelled or
+// its deadline expires, the computation stops issuing handler calls,
+// blocked admission waits abandon with a *DeadlineError, and the
+// controller releases the computation's claims so waiters behind it
+// proceed. Spec.WithTimeout composes with ctx — whichever expires first
+// wins. Cancellation is cooperative between handler calls: a handler body
+// already running is not interrupted (poll Context.Computation().Ctx()
+// inside long-running bodies).
+func (s *Stack) IsolatedCtx(ctx context.Context, spec *Spec, root func(ctx *Context) error) error {
 	s.seal()
 	s.active.Add(1)
-	defer s.active.Add(-1)
-
+	defer s.exitActive()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := spec.Timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	var retryToken Token
 	for {
-		if s.hook != nil {
-			s.hook.Yield(YieldSpawn)
+		err, retry, next := s.attempt(ctx, spec, root, retryToken)
+		if retry {
+			retryToken = next
+			continue
 		}
-		token := retryToken
-		if token == nil {
-			var err error
-			if token, err = s.ctrl.Spawn(spec); err != nil {
-				return err
-			}
-		}
-		comp := &Computation{
-			id:    s.compSeq.Add(1),
-			stack: s,
-			token: token,
-			spec:  spec,
-		}
-		s.tracer.Spawned(comp.id, spec)
-
-		if root != nil {
-			comp.record(root(&Context{comp: comp, inv: &comp.rootInv}))
-		}
-		s.waitInv(&comp.rootInv)
-		s.ctrl.RootReturned(token)
-		s.waitComp(comp)
-
-		err := comp.firstErr()
-		if errors.Is(err, ErrComputationAborted) {
-			if r, ok := s.ctrl.(Restorer); ok {
-				if next, retry := r.PrepareRetry(token); retry {
-					s.tracer.Aborted(comp.id)
-					retryToken = next
-					continue
-				}
-				s.tracer.Aborted(comp.id)
-				return err
-			}
-		}
-		if s.hook != nil {
-			s.hook.Yield(YieldComplete)
-		}
-		s.ctrl.Complete(token)
-		s.tracer.Completed(comp.id)
 		return err
 	}
 }
+
+// attempt runs one execution attempt of a computation. It owns the
+// controller end protocol for the attempt's token: every path that
+// acquires (or inherits) a token ends it via Complete or hands it to
+// PrepareRetry, panics included — the invariant Close's lifecycle check
+// verifies.
+func (s *Stack) attempt(ctx context.Context, spec *Spec, root func(ctx *Context) error, retryToken Token) (err error, retry bool, next Token) {
+	if yerr := s.yieldSafe(nil, YieldSpawn); yerr != nil {
+		// The hook faulted before Spawn: no token exists yet, unless this
+		// is a retry attempt whose inherited token must still be retired.
+		if retryToken != nil {
+			s.ctrl.Complete(retryToken)
+			s.ended.Add(1)
+		}
+		return yerr, false, nil
+	}
+	token := retryToken
+	if token == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return &DeadlineError{Stage: "spawn", Err: cerr}, false, nil
+		}
+		var serr error
+		if token, serr = s.ctrl.Spawn(ctx, spec); serr != nil {
+			return serr, false, nil
+		}
+		s.begun.Add(1)
+	} else if cerr := ctx.Err(); cerr != nil {
+		s.ctrl.Complete(token)
+		s.ended.Add(1)
+		return &DeadlineError{Stage: "spawn", Err: cerr}, false, nil
+	}
+	comp := &Computation{
+		id:    s.compSeq.Add(1),
+		stack: s,
+		token: token,
+		spec:  spec,
+		ctx:   ctx,
+	}
+	s.tracer.Spawned(comp.id, spec)
+
+	if root != nil {
+		comp.record(s.callRoot(comp, root))
+	}
+	s.waitInv(&comp.rootInv)
+	s.ctrl.RootReturned(token)
+	s.waitComp(comp)
+
+	err = comp.firstErr()
+	if errors.Is(err, ErrComputationAborted) {
+		if r, ok := s.ctrl.(Restorer); ok {
+			if nextTok, ok2 := r.PrepareRetry(token); ok2 {
+				s.tracer.Aborted(comp.id)
+				// The retired token ends one lifecycle leg; the accepted
+				// retry begins the next.
+				s.ended.Add(1)
+				s.begun.Add(1)
+				return nil, true, nextTok
+			}
+			s.tracer.Aborted(comp.id)
+			// PrepareRetry declined and cleaned up: the token is retired.
+			s.ended.Add(1)
+			return err, false, nil
+		}
+	}
+	if yerr := s.yieldSafe(comp, YieldComplete); yerr != nil && err == nil {
+		err = yerr
+	}
+	s.ctrl.Complete(token)
+	s.ended.Add(1)
+	s.tracer.Completed(comp.id)
+	return err, false, nil
+}
+
+// callRoot runs the root expression under recover, so a panicking root
+// aborts its computation instead of unwinding past the end protocol.
+func (s *Stack) callRoot(comp *Computation, root func(ctx *Context) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{
+				Stack:       s.name,
+				Handler:     "<root>",
+				Computation: comp.id,
+				Value:       v,
+				Trace:       debug.Stack(),
+			}
+		}
+	}()
+	return root(&Context{comp: comp, inv: &comp.rootInv})
+}
+
+// yieldSafe announces a yield point to the hook, converting a hook panic
+// (the chaos harness injects faults there) into the computation error it
+// simulates. Production stacks have no hook and pay one nil check.
+func (s *Stack) yieldSafe(comp *Computation, p YieldPoint) (err error) {
+	hk := s.hook
+	if hk == nil {
+		return nil
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &PanicError{Stack: s.name, Handler: "<hook>", Value: v, Trace: debug.Stack()}
+			if comp != nil {
+				pe.Computation = comp.id
+				comp.record(pe)
+			}
+			err = pe
+		}
+	}()
+	hk.Yield(p)
+	return nil
+}
+
+// exitActive retires one active computation and completes the drain when
+// it was the last one a closing stack was waiting for.
+func (s *Stack) exitActive() {
+	if s.active.Add(-1) == 0 && s.closed.Load() {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+}
+
+// Close gracefully drains the stack: new computations are rejected with
+// ErrClosed, in-flight ones run to completion (bound their wait with
+// CloseContext or per-spec timeouts), and the controller lifecycle is
+// verified — every computation that began must have ended, or Close
+// returns a *LifecycleError identifying the leak. Close is idempotent and
+// safe to call concurrently; every call waits for the drain.
+func (s *Stack) Close() error { return s.CloseContext(context.Background()) }
+
+// CloseContext is Close bounded by a context; it returns a *DeadlineError
+// with Stage "drain" when ctx expires before the in-flight computations
+// finish (the stack stays closed and keeps draining in the background).
+func (s *Stack) CloseContext(ctx context.Context) error {
+	s.closed.Store(true)
+	if s.active.Load() == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		return &DeadlineError{Stage: "drain", Err: ctx.Err()}
+	}
+	if b, e := s.begun.Load(), s.ended.Load(); b != e {
+		return &LifecycleError{Begun: b, Ended: e}
+	}
+	return nil
+}
+
+// Closed reports whether Close has begun.
+func (s *Stack) Closed() bool { return s.closed.Load() }
 
 // waitInv blocks until every thread forked by the invocation terminated.
 // Under a hook, the join is announced first so a deterministic scheduler

@@ -2,6 +2,7 @@ package ctp_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -192,6 +193,55 @@ func TestUnreliableCompositionDropsAreSilent(t *testing.T) {
 	}
 	if p.a.Retransmits() != 0 {
 		t.Fatal("unreliable composition must not retransmit")
+	}
+}
+
+// TestDeadPeerSurfacesConnFailure: with a retry cap, frames sent to a
+// peer that never acks are eventually abandoned with a typed connection
+// failure instead of retransmitting forever.
+func TestDeadPeerSurfacesConnFailure(t *testing.T) {
+	net := simnet.New(simnet.Config{Nodes: 2, Seed: 10})
+	defer net.Close()
+	e, err := ctp.NewEndpoint(ctp.Config{
+		Net: net, ID: 0, Peer: 1,
+		Reliable: true,
+		RTO:      2 * time.Millisecond, MaxRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	if err := e.Send([]byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(e.Failed()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no connection failure surfaced; retransmits = %d", e.Retransmits())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f := e.Failed()[0]
+	if f.Retries != 3 {
+		t.Fatalf("failure = %+v, want 3 retries", f)
+	}
+	// The failure also surfaces through the computation error log.
+	found := false
+	for _, err := range e.Errs() {
+		var cf *ctp.ConnFailedError
+		if errors.As(err, &cf) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ConnFailedError not recorded in Errs")
+	}
+	// Bounded retries: the abandoned frame stops consuming the wire.
+	quiesced := e.Retransmits()
+	time.Sleep(50 * time.Millisecond)
+	if e.Retransmits() != quiesced {
+		t.Fatal("retransmissions continued after the frame was abandoned")
 	}
 }
 

@@ -33,8 +33,13 @@ type Config struct {
 	Reliable, Ordered, Checksummed bool
 	// Window is ARQ's send window (default 32; negative = unlimited).
 	Window int
-	// RTO is ARQ's retransmission timeout (default 50ms).
+	// RTO is ARQ's base retransmission timeout (default 50ms); per-frame
+	// intervals back off exponentially (with jitter) from it.
 	RTO time.Duration
+	// MaxRetries caps retransmissions per frame; a frame that exhausts it
+	// is abandoned and surfaces a *ConnFailedError (via Errs and Failed).
+	// Zero means retry forever.
+	MaxRetries int
 	// Controller schedules computations (default cc.NewVCABasic()).
 	Controller core.Controller
 	// SpecKind must match the controller.
@@ -142,7 +147,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	}
 	if cfg.Reliable {
 		ev := core.NewEventType("ArqRecv")
-		e.arq = newARQ(cfg.RTO, cfg.Window, downSend, nil)
+		e.arq = newARQ(cfg.RTO, cfg.Window, cfg.MaxRetries, int64(cfg.ID)+1, downSend, nil)
 		downSend = core.NewEventType("ArqSend")
 		recvChain = append(recvChain, ev)
 	}
@@ -359,14 +364,16 @@ func (e *Endpoint) Start() {
 	}
 }
 
-// Stop crashes the node (unblocking the pump) and waits for in-flight
-// computations. Stop is idempotent.
+// Stop crashes the node (unblocking the pump), waits for in-flight
+// computations, then closes the stack — draining it and verifying its
+// lifecycle balance (any violation lands in Errs). Stop is idempotent.
 func (e *Endpoint) Stop() {
 	e.stopOnce.Do(func() {
 		close(e.quit)
 		e.cfg.Net.Crash(e.cfg.ID)
 	})
 	e.wg.Wait()
+	e.record(e.stack.Close())
 }
 
 // Send transmits an application message to the peer as one isolated
@@ -438,6 +445,16 @@ func (e *Endpoint) Errs() []error {
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
 	return append([]error(nil), e.errs...)
+}
+
+// Failed returns the connection failures recorded so far: frames that
+// exhausted Config.MaxRetries without an ack (nil for unreliable or
+// uncapped compositions).
+func (e *Endpoint) Failed() []*ConnFailedError {
+	if e.arq == nil {
+		return nil
+	}
+	return e.arq.Failures()
 }
 
 // Retransmits reports ARQ retransmissions (0 for unreliable

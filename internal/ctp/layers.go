@@ -1,7 +1,10 @@
 package ctp
 
 import (
+	"fmt"
 	"hash/fnv"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -177,23 +180,42 @@ func (o *Order) recv(ctx *core.Context, msg core.Message) error {
 	}
 }
 
+// ConnFailedError reports that a data frame exhausted its retransmission
+// budget: the connection is considered failed for that frame (the peer is
+// unreachable or the link is persistently lossy beyond repair).
+type ConnFailedError struct {
+	Seq     uint64 // ARQ sequence number of the abandoned frame
+	Retries int    // retransmissions attempted before giving up
+}
+
+func (e *ConnFailedError) Error() string {
+	return fmt.Sprintf("ctp: connection failed: frame %d unacknowledged after %d retransmissions", e.Seq, e.Retries)
+}
+
 // ARQ provides reliability: every data frame carries a sequence number
-// and is buffered until acknowledged; a timer retransmits; a sliding
-// window bounds the unacknowledged frames (excess sends queue); receivers
-// ack everything and deduplicate. Frames: {kind, aseq, inner?}.
+// and is buffered until acknowledged; a timer retransmits with per-frame
+// exponential backoff and jitter; a sliding window bounds the
+// unacknowledged frames (excess sends queue); receivers ack everything
+// and deduplicate. With a retry cap, frames that exhaust it are abandoned
+// and surface a ConnFailedError. Frames: {kind, aseq, inner?}.
 type ARQ struct {
-	mp     *core.Microprotocol
-	rto    time.Duration
-	window int
-	down   *core.EventType
-	up     *core.EventType
+	mp         *core.Microprotocol
+	rto        time.Duration
+	window     int
+	maxRetries int
+	down       *core.EventType
+	up         *core.EventType
 
 	nextSeq uint64
 	pending map[uint64]*arqPending
 	queued  [][]byte
 	seen    dedupe.Seq
+	rng     *rand.Rand
 
 	retransmits atomic.Uint64
+
+	failMu   sync.Mutex
+	failures []*ConnFailedError
 
 	hSend, hRecv, hRetransmit *core.Handler
 }
@@ -201,16 +223,24 @@ type ARQ struct {
 type arqPending struct {
 	frame  []byte
 	sentAt time.Time
+	rto    time.Duration // current backoff interval for this frame
+	tries  int           // retransmissions so far
 }
 
-func newARQ(rto time.Duration, window int, down, up *core.EventType) *ARQ {
+// backoffCap bounds the exponential backoff at this multiple of the base
+// RTO.
+const backoffCap = 8
+
+func newARQ(rto time.Duration, window, maxRetries int, seed int64, down, up *core.EventType) *ARQ {
 	a := &ARQ{
-		mp:      core.NewMicroprotocol("arq"),
-		rto:     rto,
-		window:  window,
-		down:    down,
-		up:      up,
-		pending: make(map[uint64]*arqPending),
+		mp:         core.NewMicroprotocol("arq"),
+		rto:        rto,
+		window:     window,
+		maxRetries: maxRetries,
+		down:       down,
+		up:         up,
+		pending:    make(map[uint64]*arqPending),
+		rng:        rand.New(rand.NewSource(seed)),
 	}
 	a.hSend = a.mp.AddHandler("send", a.send)
 	a.hRecv = a.mp.AddHandler("recv", a.recv)
@@ -234,7 +264,7 @@ func (a *ARQ) transmit(ctx *core.Context, data []byte) error {
 	w.U64(a.nextSeq)
 	w.BytesPrefixed(data)
 	frame := append([]byte(nil), w.Bytes()...)
-	a.pending[a.nextSeq] = &arqPending{frame: frame, sentAt: time.Now()}
+	a.pending[a.nextSeq] = &arqPending{frame: frame, sentAt: time.Now(), rto: a.rto}
 	return ctx.Trigger(a.down, frame)
 }
 
@@ -280,21 +310,52 @@ func (a *ARQ) recv(ctx *core.Context, msg core.Message) error {
 
 func (a *ARQ) retransmit(ctx *core.Context, _ core.Message) error {
 	now := time.Now()
-	for _, p := range a.pending {
-		if now.Sub(p.sentAt) < a.rto {
+	var failed error
+	for seq, p := range a.pending {
+		if now.Sub(p.sentAt) < p.rto {
 			continue
 		}
+		if a.maxRetries > 0 && p.tries >= a.maxRetries {
+			// Budget exhausted: abandon the frame and surface the failure,
+			// but keep scanning — other frames may still be repairable.
+			delete(a.pending, seq)
+			cf := &ConnFailedError{Seq: seq, Retries: p.tries}
+			a.failMu.Lock() //samoa:ignore blocking — uncontended guard for the Failures() accessor, which application code reads from outside any computation
+			a.failures = append(a.failures, cf)
+			a.failMu.Unlock()
+			if failed == nil {
+				failed = cf
+			}
+			continue
+		}
+		p.tries++
 		p.sentAt = now
+		// Exponential backoff with ±25% jitter, capped at backoffCap×base:
+		// doubling spaces retries out under persistent outages, the jitter
+		// decorrelates the two directions of a connection.
+		next := p.rto * 2
+		if max := a.rto * backoffCap; next > max {
+			next = max
+		}
+		p.rto = next + time.Duration((a.rng.Float64()-0.5)*0.5*float64(next))
 		a.retransmits.Add(1)
 		if err := ctx.Trigger(a.down, p.frame); err != nil {
 			return err
 		}
 	}
-	return nil
+	return failed
 }
 
 // Retransmits reports the total retransmissions so far.
 func (a *ARQ) Retransmits() uint64 { return a.retransmits.Load() }
+
+// Failures returns the connection failures recorded so far (frames
+// abandoned after exhausting their retry budget).
+func (a *ARQ) Failures() []*ConnFailedError {
+	a.failMu.Lock()
+	defer a.failMu.Unlock()
+	return append([]*ConnFailedError(nil), a.failures...)
+}
 
 // Checksum guards the whole frame below it with FNV-32a; corrupted
 // datagrams are silently dropped (ARQ repairs the loss, if present).

@@ -2,6 +2,7 @@ package ctp
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -154,7 +155,7 @@ func TestOrderReleasesInSequence(t *testing.T) {
 func TestARQAcksDedupsAndRetransmits(t *testing.T) {
 	var arq *ARQ
 	h, evSend, evRecv := newLayerHarness(t, func(down, up *core.EventType) (*core.Microprotocol, *core.Handler, *core.Handler) {
-		arq = newARQ(10*time.Millisecond, 8, down, up)
+		arq = newARQ(10*time.Millisecond, 8, 0, 1, down, up)
 		return arq.mp, arq.hSend, arq.hRecv
 	})
 	evTick := core.NewEventType("tick")
@@ -203,10 +204,72 @@ func TestARQAcksDedupsAndRetransmits(t *testing.T) {
 	}
 }
 
+func TestARQBackoffSpacesRetransmissions(t *testing.T) {
+	var arq *ARQ
+	h, evSend, _ := newLayerHarness(t, func(down, up *core.EventType) (*core.Microprotocol, *core.Handler, *core.Handler) {
+		arq = newARQ(30*time.Millisecond, 8, 0, 1, down, up)
+		return arq.mp, arq.hSend, arq.hRecv
+	})
+	evTick := core.NewEventType("tick")
+	h.s.Bind(evTick, arq.hRetransmit)
+
+	h.external(t, evSend, []byte("x"))
+	time.Sleep(35 * time.Millisecond)
+	h.external(t, evTick, nil)
+	if arq.Retransmits() != 1 {
+		t.Fatalf("retransmits = %d, want 1", arq.Retransmits())
+	}
+	// The frame's interval has backed off to ≥ 2×30ms×0.75 = 45ms: a tick
+	// only ~30ms after the first retransmission must not fire again.
+	time.Sleep(30 * time.Millisecond)
+	h.external(t, evTick, nil)
+	if got := arq.Retransmits(); got != 1 {
+		t.Fatalf("retransmitted again before the backed-off interval: %d", got)
+	}
+}
+
+func TestARQMaxRetriesSurfacesConnFailure(t *testing.T) {
+	var arq *ARQ
+	h, evSend, _ := newLayerHarness(t, func(down, up *core.EventType) (*core.Microprotocol, *core.Handler, *core.Handler) {
+		arq = newARQ(time.Millisecond, 8, 2, 1, down, up)
+		return arq.mp, arq.hSend, arq.hRecv
+	})
+	evTick := core.NewEventType("tick")
+	h.s.Bind(evTick, arq.hRetransmit)
+
+	h.external(t, evSend, []byte("doomed"))
+	var tickErr error
+	for i := 0; i < 10 && tickErr == nil; i++ {
+		time.Sleep(15 * time.Millisecond) // past the 8×1ms backoff cap
+		tickErr = h.s.External(h.spec, evTick, nil)
+	}
+	var cf *ConnFailedError
+	if !errors.As(tickErr, &cf) {
+		t.Fatalf("tick error = %v, want *ConnFailedError", tickErr)
+	}
+	if cf.Seq != 1 || cf.Retries != 2 {
+		t.Fatalf("failure = %+v", cf)
+	}
+	fails := arq.Failures()
+	if len(fails) != 1 || fails[0].Seq != 1 {
+		t.Fatalf("Failures() = %+v", fails)
+	}
+	// The frame is abandoned: further ticks neither retransmit nor re-fail.
+	before := arq.Retransmits()
+	time.Sleep(15 * time.Millisecond)
+	h.external(t, evTick, nil)
+	if arq.Retransmits() != before || len(arq.Failures()) != 1 {
+		t.Fatal("abandoned frame still active")
+	}
+	if len(h.down) != 3 { // original + 2 retransmissions
+		t.Fatalf("down = %d frames, want 3", len(h.down))
+	}
+}
+
 func TestARQWindowQueues(t *testing.T) {
 	var arq *ARQ
 	h, evSend, evRecv := newLayerHarness(t, func(down, up *core.EventType) (*core.Microprotocol, *core.Handler, *core.Handler) {
-		arq = newARQ(time.Hour, 2, down, up)
+		arq = newARQ(time.Hour, 2, 0, 1, down, up)
 		return arq.mp, arq.hSend, arq.hRecv
 	})
 	for i := 0; i < 5; i++ {

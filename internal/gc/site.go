@@ -311,14 +311,17 @@ func (s *Site) Start() {
 	s.startTicker(s.cfg.RTO/2, s.specs.retrans, s.ev.RetrTick)
 }
 
-// Stop shuts the site down: it crashes the node (unblocking the pump) and
-// waits for in-flight computations to complete. Stop is idempotent.
+// Stop shuts the site down: it crashes the node (unblocking the pump),
+// waits for in-flight computations to complete, then closes the stack —
+// draining it and verifying its lifecycle balance (any violation lands in
+// Errs). Stop is idempotent.
 func (s *Site) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.quit)
 		s.cfg.Net.Crash(s.cfg.ID)
 	})
 	s.wg.Wait()
+	s.record(s.stack.Close())
 }
 
 // pump turns every incoming datagram into one isolated computation,

@@ -5,9 +5,9 @@
 // substitutes them with N in-process nodes connected by unreliable,
 // delaying links. The properties the protocols under test care about —
 // loss (to exercise retransmission), delay (to exercise timeouts and
-// suspicion), crashes and partitions (to exercise membership) — are all
-// configurable, and the random choices come from a seeded generator so
-// runs are reproducible.
+// suspicion), crashes, restarts and partitions (to exercise membership
+// and recovery) — are all configurable, and the random choices come from
+// a seeded generator so runs are reproducible.
 package simnet
 
 import (
@@ -50,6 +50,7 @@ type Stats struct {
 	DroppedPartition uint64
 	DroppedCrashed   uint64
 	DroppedOverflow  uint64
+	Recovered        uint64
 }
 
 // Datagram is one unreliable message.
@@ -75,16 +76,24 @@ type Network struct {
 	droppedPartition atomic.Uint64
 	droppedCrashed   atomic.Uint64
 	droppedOverflow  atomic.Uint64
+	recovered        atomic.Uint64
+}
+
+// nodeGen is one incarnation of a node: a crash closes its quit channel
+// (unblocking receivers and dropping traffic), a restart installs a fresh
+// generation with an empty inbox, so messages sent while the node was
+// down stay lost.
+type nodeGen struct {
+	inbox chan Datagram
+	quit  chan struct{}
 }
 
 // Node is one endpoint of the network.
 type Node struct {
 	id      NodeID
 	net     *Network
-	inbox   chan Datagram
-	quit    chan struct{}
+	gen     atomic.Pointer[nodeGen]
 	crashed atomic.Bool
-	once    sync.Once
 }
 
 // New creates a network. It panics on a non-positive node count (a
@@ -104,12 +113,12 @@ func New(cfg Config) *Network {
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		n.nodes = append(n.nodes, &Node{
-			id:    NodeID(i),
-			net:   n,
+		nd := &Node{id: NodeID(i), net: n}
+		nd.gen.Store(&nodeGen{
 			inbox: make(chan Datagram, cfg.InboxSize),
 			quit:  make(chan struct{}),
 		})
+		n.nodes = append(n.nodes, nd)
 	}
 	return n
 }
@@ -179,10 +188,11 @@ func (n *Network) deliver(dst *Node, d Datagram) {
 		n.droppedCrashed.Add(1)
 		return
 	}
+	g := dst.gen.Load()
 	select {
-	case dst.inbox <- d:
+	case g.inbox <- d:
 		n.delivered.Add(1)
-	case <-dst.quit:
+	case <-g.quit:
 		n.droppedCrashed.Add(1)
 	default:
 		n.droppedOverflow.Add(1)
@@ -190,12 +200,38 @@ func (n *Network) deliver(dst *Node, d Datagram) {
 }
 
 // Crash makes the node silently drop every message sent to or from it, and
-// unblocks its receivers. Crashes are permanent (crash-stop model).
+// unblocks its receivers. A crashed node stays down until Restart revives
+// it (crash-recovery model).
 func (n *Network) Crash(id NodeID) {
 	nd := n.Node(id)
-	if nd.crashed.CompareAndSwap(false, true) {
-		nd.once.Do(func() { close(nd.quit) })
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || nd.crashed.Load() {
+		return
 	}
+	nd.crashed.Store(true)
+	close(nd.gen.Load().quit)
+}
+
+// Restart revives a crashed node with a fresh incarnation: its inbox
+// starts empty (everything sent while it was down stays lost, as do any
+// datagrams it had queued at crash time), and it sends and receives again
+// afterwards. It reports false — and does nothing — when the node is not
+// crashed or the network is closed.
+func (n *Network) Restart(id NodeID) bool {
+	nd := n.Node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || !nd.crashed.Load() {
+		return false
+	}
+	nd.gen.Store(&nodeGen{
+		inbox: make(chan Datagram, n.cfg.InboxSize),
+		quit:  make(chan struct{}),
+	})
+	nd.crashed.Store(false)
+	n.recovered.Add(1)
+	return true
 }
 
 // Crashed reports whether the node has crashed.
@@ -222,18 +258,20 @@ func (n *Network) Heal() {
 	n.mu.Unlock()
 }
 
-// Close shuts the network down: subsequent sends are dropped and all
-// receivers unblock. Close is idempotent.
+// Close shuts the network down: subsequent sends are dropped, all
+// receivers unblock, and crashed nodes can no longer be restarted. Close
+// is idempotent.
 func (n *Network) Close() {
 	n.mu.Lock()
-	was := n.closed
-	n.closed = true
-	n.mu.Unlock()
-	if was {
+	defer n.mu.Unlock()
+	if n.closed {
 		return
 	}
+	n.closed = true
 	for _, nd := range n.nodes {
-		nd.once.Do(func() { close(nd.quit) })
+		if !nd.crashed.Load() {
+			close(nd.gen.Load().quit)
+		}
 	}
 }
 
@@ -247,6 +285,7 @@ func (n *Network) Stats() Stats {
 		DroppedPartition: n.droppedPartition.Load(),
 		DroppedCrashed:   n.droppedCrashed.Load(),
 		DroppedOverflow:  n.droppedOverflow.Load(),
+		Recovered:        n.recovered.Load(),
 	}
 }
 
@@ -254,15 +293,18 @@ func (n *Network) Stats() Stats {
 func (nd *Node) ID() NodeID { return nd.id }
 
 // Recv blocks until a datagram arrives. It returns ok == false once the
-// node has crashed or the network closed (after draining nothing more).
+// node's current incarnation has crashed or the network closed (after
+// draining nothing more). A receiver that gets ok == false may call Recv
+// again after a Restart to read from the new incarnation.
 func (nd *Node) Recv() (Datagram, bool) {
+	g := nd.gen.Load()
 	select {
-	case d := <-nd.inbox:
+	case d := <-g.inbox:
 		return d, true
-	case <-nd.quit:
+	case <-g.quit:
 		// Drain anything already queued before reporting closure.
 		select {
-		case d := <-nd.inbox:
+		case d := <-g.inbox:
 			return d, true
 		default:
 			return Datagram{}, false
@@ -273,7 +315,7 @@ func (nd *Node) Recv() (Datagram, bool) {
 // TryRecv returns a queued datagram without blocking.
 func (nd *Node) TryRecv() (Datagram, bool) {
 	select {
-	case d := <-nd.inbox:
+	case d := <-nd.gen.Load().inbox:
 		return d, true
 	default:
 		return Datagram{}, false

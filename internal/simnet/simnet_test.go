@@ -171,6 +171,53 @@ func TestCrashUnblocksReceiver(t *testing.T) {
 	}
 }
 
+func TestRestartRevivesNode(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	defer n.Close()
+	n.Crash(1)
+	n.Send(0, 1, []byte("lost")) // sent during the outage: stays dropped
+	if !n.Restart(1) {
+		t.Fatal("Restart refused a crashed node")
+	}
+	if n.Crashed(1) {
+		t.Fatal("node still marked crashed after restart")
+	}
+	if _, ok := n.Node(1).TryRecv(); ok {
+		t.Fatal("restarted node inherited a message sent while it was down")
+	}
+	n.Send(0, 1, []byte("back"))
+	if d, ok := n.Node(1).Recv(); !ok || string(d.Payload) != "back" {
+		t.Fatalf("post-restart delivery failed: %+v %v", d, ok)
+	}
+	st := n.Stats()
+	if st.Recovered != 1 || st.DroppedCrashed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRestartDiscardsQueuedInbox(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	defer n.Close()
+	n.Send(0, 1, []byte("queued")) // delivered but never read
+	n.Crash(1)
+	n.Restart(1)
+	if _, ok := n.Node(1).TryRecv(); ok {
+		t.Fatal("restart must start from an empty inbox")
+	}
+}
+
+func TestRestartRefusals(t *testing.T) {
+	n := simnet.New(simnet.Config{Nodes: 2})
+	if n.Restart(0) {
+		t.Fatal("Restart of a live node must refuse")
+	}
+	n.Crash(0)
+	n.Close()
+	if n.Restart(0) {
+		t.Fatal("Restart after Close must refuse")
+	}
+}
+
 func TestPartitionAndHeal(t *testing.T) {
 	n := simnet.New(simnet.Config{Nodes: 4})
 	defer n.Close()
