@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet samoa-vet test race bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep examples clean
+.PHONY: all build vet samoa-vet test race race-contend bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep examples clean
 
 all: build vet samoa-vet test
 
@@ -26,6 +26,13 @@ test:
 # Full suite under the race detector (slower; what CI should run).
 race:
 	$(GO) test -race ./...
+
+# Short-form contention suite (DESIGN.md §11) under the race detector:
+# the sharded-admission race/differential tests plus one timed pass of
+# each Contention* benchmark shape. CI runs this on every push.
+race-contend:
+	$(GO) test -race -run 'Sharded|Differential|ExploreReachesFastPath' ./internal/cc -count=1
+	$(GO) test -race -run '^$$' -bench 'Contention' -benchtime 200x .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -63,11 +63,15 @@ func TestTriggerSealedAllocBudget(t *testing.T) {
 
 // TestSpawnCompleteAllocBudget asserts an Access-spec computation's
 // controller lifecycle (Spawn + RootReturned + Complete) under vca-basic
-// stays at its compiled-footprint budget: one token and one private
-// version slice — 2 allocations, independent of how many microprotocols
-// the spec declares. The Blocker indirection added for deterministic
-// scheduling must not move this number: the default blocker's pooled
-// waiters are only touched when a computation actually parks.
+// stays at its compiled-footprint budget: one token and one claim-node
+// slice — 2 allocations, independent of how many microprotocols the spec
+// declares. The sharded-admission work (DESIGN.md §11) kept this budget
+// unchanged: the CAS fast path allocates nothing beyond the token, the
+// release nodes are embedded in the token's slice, and the group-commit
+// stack links through them in place. Sequential spawn/complete is always
+// quiescent, so this loop must take the fast path every iteration — the
+// SpawnStats check below pins that, so a regression that silently
+// diverts the budget measurement onto the slow path cannot pass.
 func TestSpawnCompleteAllocBudget(t *testing.T) {
 	ctrl := cc.NewVCABasic()
 	mps := make([]*core.Microprotocol, 4)
@@ -85,5 +89,43 @@ func TestSpawnCompleteAllocBudget(t *testing.T) {
 	})
 	if avg > 2 {
 		t.Errorf("Access-spec Spawn+Complete: %.2f allocs/op, budget 2", avg)
+	}
+	if fast, slow := ctrl.SpawnStats(); slow != 0 || fast == 0 {
+		t.Errorf("budget loop took the slow path (%d fast, %d slow); the measurement no longer covers the CAS fast path", fast, slow)
+	}
+}
+
+// TestBatchedReleaseAllocBudget guards the batched deferred-release path:
+// three single-slot computations completed out of spawn order force the
+// later releases through the pending queue (deferred until due, then
+// cascaded by one group-commit drain). The budget is exactly the spawn
+// cost — 3 tokens × 2 allocations; queueing, draining, and cascading must
+// contribute zero, because release nodes are token-embedded and both the
+// pending queue and the release stack reuse their storage.
+func TestBatchedReleaseAllocBudget(t *testing.T) {
+	ctrl := cc.NewVCABasic()
+	mp := core.NewMicroprotocol("m")
+	spec := core.Access(mp)
+	avg := testing.AllocsPerRun(200, func() {
+		t1, err := ctrl.Spawn(context.Background(), spec)
+		if err != nil {
+			t.Error(err)
+		}
+		t2, err := ctrl.Spawn(context.Background(), spec)
+		if err != nil {
+			t.Error(err)
+		}
+		t3, err := ctrl.Spawn(context.Background(), spec)
+		if err != nil {
+			t.Error(err)
+		}
+		// Reverse order: t3's and t2's releases sit in the pending queue
+		// until t1's release makes them due and the drain cascades.
+		ctrl.Complete(t3)
+		ctrl.Complete(t2)
+		ctrl.Complete(t1)
+	})
+	if avg > 6 {
+		t.Errorf("3× Spawn + out-of-order Complete: %.2f allocs/op, budget 6 (releases must be allocation-free)", avg)
 	}
 }

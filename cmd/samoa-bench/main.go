@@ -1,5 +1,5 @@
 // Command samoa-bench runs the repository's evaluation — experiments
-// E1–E10 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
+// E1–E11 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -7,6 +7,7 @@
 //	samoa-bench -quick        # reduced parameters (CI-sized)
 //	samoa-bench -exp e1,e5    # run a subset
 //	samoa-bench -json         # also write BENCH_E<k>.json per experiment
+//	samoa-bench -cpu 1,2,4,8  # the GOMAXPROCS sweep of e11
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,9 +25,16 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameters")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_E<k>.json (controller → metric → value)")
+	cpus := flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS values for the e11 contention sweep")
 	flag.Parse()
+
+	cpuList, err := parseCPUs(*cpus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "samoa-bench: -cpu: %v\n", err)
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(strings.ToLower(*exps), ",") {
@@ -62,6 +71,9 @@ func main() {
 		{"e10", func() *bench.Table {
 			return bench.E10SchedOverhead(pick(*quick, 200, 2000), 16)
 		}},
+		{"e11", func() *bench.Table {
+			return bench.E11Contention(cpuList, 8, pick(*quick, 2000, 20000))
+		}},
 	}
 	ran := 0
 	for _, e := range full {
@@ -81,9 +93,30 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e10 or all")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e11 or all")
 		os.Exit(2)
 	}
+}
+
+// parseCPUs parses the -cpu flag: a comma-separated list of positive
+// GOMAXPROCS values.
+func parseCPUs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad GOMAXPROCS value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // writeJSON records the experiment's table as BENCH_<ID>.json (e.g.

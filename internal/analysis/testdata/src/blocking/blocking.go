@@ -88,3 +88,54 @@ func (c *slowCtrl) RootReturned(t core.Token) {}
 func (c *slowCtrl) Complete(t core.Token) {
 	time.Sleep(time.Millisecond) // want `time\.Sleep inside controller slowCtrl\.Complete`
 }
+
+// shardedCtrl models the per-slot admission pattern of DESIGN.md §11: a
+// mutex per microprotocol slot, acquired in canonical order on the
+// spawn slow path (here via a helper, so the exemption must propagate
+// through reachable functions), and a drain mutex around batched
+// releases. All of that mutex traffic is sanctioned controller
+// bookkeeping; a genuinely raw scheduling point in the same method is
+// still flagged.
+type shardSlot struct {
+	spawnMu sync.Mutex
+	relMu   sync.Mutex
+}
+
+type shardedCtrl struct {
+	slots []*shardSlot
+	done  chan struct{}
+}
+
+func (c *shardedCtrl) Name() string { return "sharded" }
+
+func (c *shardedCtrl) Spawn(ctx context.Context, spec *core.Spec) (core.Token, error) {
+	c.claimSlow([]int{0, 1})
+	return nil, nil
+}
+
+// claimSlow is reachable only from Spawn: the ordered per-slot locks
+// are exempt transitively, not just when written inline.
+func (c *shardedCtrl) claimSlow(order []int) {
+	for _, i := range order {
+		c.slots[i].spawnMu.Lock()
+	}
+	for _, i := range order {
+		c.slots[i].spawnMu.Unlock()
+	}
+}
+
+func (c *shardedCtrl) Request(t core.Token, caller, h *core.Handler) error { return nil }
+
+func (c *shardedCtrl) Enter(ctx context.Context, t core.Token, caller, h *core.Handler) error {
+	return nil
+}
+
+func (c *shardedCtrl) Exit(t core.Token, h *core.Handler) {}
+
+func (c *shardedCtrl) RootReturned(t core.Token) {}
+
+func (c *shardedCtrl) Complete(t core.Token) {
+	c.slots[0].relMu.Lock()
+	defer c.slots[0].relMu.Unlock()
+	<-c.done // want `raw channel receive inside controller shardedCtrl\.Complete`
+}

@@ -26,6 +26,10 @@ func TestConformance(t *testing.T) {
 			New:  func() core.Controller { return cc.NewVCABasic() },
 			Kind: cctest.KindBasic,
 		}},
+		{"ref-vca-basic", cctest.Config{
+			New:  func() core.Controller { return cc.NewRefVCABasic() },
+			Kind: cctest.KindBasic,
+		}},
 		{"vca-bound", cctest.Config{
 			New:  func() core.Controller { return cc.NewVCABound() },
 			Kind: cctest.KindBound,

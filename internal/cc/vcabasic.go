@@ -34,25 +34,25 @@ func (c *VCABasic) Name() string { return "vca-basic" }
 // SetBlocker implements sched.Schedulable.
 func (c *VCABasic) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
-// basicToken carries the computation's private versions, parallel to its
-// spec's compiled footprint.
+// SpawnStats reports how many spawns took the lock-free fast path and
+// the ordered-lock slow path (see DESIGN.md §11).
+func (c *VCABasic) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
+
+// basicToken carries the computation's claims — one release node per
+// footprint position; nodes[i].target is the private version pv[i].
 type basicToken struct {
-	fp *footprint
-	pv []uint64
+	fp    *footprint
+	nodes []relNode
 }
 
-// Spawn implements rule 1: an array walk over the compiled footprint
-// under the table lock — two allocations, no map churn. Spawn never
-// blocks, so the context is not consulted.
+// Spawn implements rule 1: an array walk over the compiled footprint —
+// two allocations, no map churn, and no lock at all when the footprint's
+// slots are quiescent (versionTable.claim). Spawn never blocks, so the
+// context is not consulted.
 func (c *VCABasic) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	fp := c.vt.footprint(spec)
-	t := &basicToken{fp: fp, pv: make([]uint64, len(fp.slots))}
-	c.vt.mu.Lock()
-	for i, slot := range fp.slots {
-		c.vt.gv[slot]++
-		t.pv[i] = c.vt.gv[slot]
-	}
-	c.vt.mu.Unlock()
+	t := &basicToken{fp: fp, nodes: make([]relNode, len(fp.slots))}
+	c.vt.claim(fp, t.nodes)
 	return t, nil
 }
 
@@ -67,14 +67,15 @@ func (c *VCABasic) Request(t core.Token, _, h *core.Handler) error {
 
 // Enter implements rule 2: block until the private version matches, or
 // the computation's context expires (the versions stay claimed either
-// way; Complete releases them).
+// way; Complete releases them). The threshold pv[i]−1 is the claim's
+// recorded minLv.
 func (c *VCABasic) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*basicToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-1); err != nil {
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.nodes[i].minLv); err != nil {
 		return deadline("enter", h, err)
 	}
 	return nil
@@ -88,10 +89,11 @@ func (c *VCABasic) Exit(core.Token, *core.Handler) {}
 func (c *VCABasic) RootReturned(core.Token) {}
 
 // Complete implements rule 3: upgrade every declared microprotocol's local
-// version to the private version, in spawn order.
+// version to the private version, in spawn order — by pushing the token's
+// embedded nodes onto the slots' group-commit stacks (no allocation).
 func (c *VCABasic) Complete(t core.Token) {
 	tok := t.(*basicToken)
 	for i, st := range tok.fp.states {
-		st.request(tok.pv[i]-1, tok.pv[i])
+		st.requestNode(&tok.nodes[i])
 	}
 }

@@ -30,7 +30,8 @@ type VCABound struct {
 
 // NewVCABound creates a controller enforcing the least-upper-bound
 // version-counting algorithm. Specs must be built with core.AccessBound.
-func NewVCABound() *VCABound { return &VCABound{vt: newVersionTable()} }
+// Its version table claims with the spec's bounds as rule-1 deltas.
+func NewVCABound() *VCABound { return &VCABound{vt: newBoundVersionTable()} }
 
 // Name implements core.Controller.
 func (c *VCABound) Name() string { return "vca-bound" }
@@ -38,12 +39,17 @@ func (c *VCABound) Name() string { return "vca-bound" }
 // SetBlocker implements sched.Schedulable.
 func (c *VCABound) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
-// boundToken carries private versions and consumed visit counts, parallel
-// to the spec's compiled footprint.
+// SpawnStats reports how many spawns took the lock-free fast path and
+// the ordered-lock slow path (see DESIGN.md §11).
+func (c *VCABound) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
+
+// boundToken carries the computation's claims and consumed visit counts,
+// parallel to the spec's compiled footprint. nodes[i].target is pv[i];
+// nodes[i].minLv is pv[i]−bound[i], the admission window's lower edge.
 type boundToken struct {
 	mu        sync.Mutex
 	fp        *footprint
-	pv        []uint64
+	nodes     []relNode
 	requested []uint64 // visits consumed so far; guarded by mu
 }
 
@@ -62,15 +68,10 @@ func (c *VCABound) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 	}
 	t := &boundToken{
 		fp:        fp,
-		pv:        make([]uint64, len(fp.slots)),
+		nodes:     make([]relNode, len(fp.slots)),
 		requested: make([]uint64, len(fp.slots)),
 	}
-	c.vt.mu.Lock()
-	for i, slot := range fp.slots {
-		c.vt.gv[slot] += fp.bounds[i]
-		t.pv[i] = c.vt.gv[slot]
-	}
-	c.vt.mu.Unlock()
+	c.vt.claim(fp, t.nodes)
 	return t, nil
 }
 
@@ -93,16 +94,17 @@ func (c *VCABound) Request(t core.Token, _, h *core.Handler) error {
 }
 
 // Enter implements rule 2. Waiting for lv to reach the window's lower edge
-// suffices: lv < pv is invariant while the computation still holds
-// unconsumed budget, because lv only passes pv−1 through this
-// computation's own rule-4 increments or its rule-3 completion.
+// (the claim's recorded minLv = pv−bound) suffices: lv < pv is invariant
+// while the computation still holds unconsumed budget, because lv only
+// passes pv−1 through this computation's own rule-4 increments or its
+// rule-3 completion.
 func (c *VCABound) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*boundToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-tok.fp.bounds[i]); err != nil {
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.nodes[i].minLv); err != nil {
 		return deadline("enter", h, err)
 	}
 	return nil
@@ -120,10 +122,11 @@ func (c *VCABound) Exit(t core.Token, h *core.Handler) {
 // RootReturned implements core.Controller (no-op for VCABound).
 func (c *VCABound) RootReturned(core.Token) {}
 
-// Complete implements rule 3.
+// Complete implements rule 3, pushing the token's embedded release nodes
+// (upgrade lv to pv once lv ≥ pv−bound; never downgrading).
 func (c *VCABound) Complete(t core.Token) {
 	tok := t.(*boundToken)
 	for i, st := range tok.fp.states {
-		st.request(tok.pv[i]-tok.fp.bounds[i], tok.pv[i])
+		st.requestNode(&tok.nodes[i])
 	}
 }

@@ -50,13 +50,17 @@ func (c *VCARoute) Name() string { return "vca-route" }
 // SetBlocker implements sched.Schedulable.
 func (c *VCARoute) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
+// SpawnStats reports how many spawns took the lock-free fast path and
+// the ordered-lock slow path (see DESIGN.md §11).
+func (c *VCARoute) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
+
 type routeToken struct {
 	mu         sync.Mutex
 	fp         *footprint
-	pv         []uint64
-	released   []bool  // by footprint position
-	present    []bool  // by vertex index: still in the graph
-	counts     []int32 // by vertex index: pending + active executions
+	nodes      []relNode // claims; nodes[i].target is pv[i]
+	released   []bool    // by footprint position
+	present    []bool    // by vertex index: still in the graph
+	counts     []int32   // by vertex index: pending + active executions
 	rootActive bool
 
 	// BFS scratch, reused across routeExists/scanRelease calls; guarded
@@ -75,7 +79,7 @@ func (c *VCARoute) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 	nv := len(fp.route.handlers)
 	t := &routeToken{
 		fp:         fp,
-		pv:         make([]uint64, len(fp.slots)),
+		nodes:      make([]relNode, len(fp.slots)),
 		released:   make([]bool, len(fp.slots)),
 		present:    make([]bool, nv),
 		counts:     make([]int32, nv),
@@ -85,12 +89,7 @@ func (c *VCARoute) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 	for v := range t.present {
 		t.present[v] = true
 	}
-	c.vt.mu.Lock()
-	for i, slot := range fp.slots {
-		c.vt.gv[slot]++
-		t.pv[i] = c.vt.gv[slot]
-	}
-	c.vt.mu.Unlock()
+	c.vt.claim(fp, t.nodes)
 	return t, nil
 }
 
@@ -166,7 +165,7 @@ func (c *VCARoute) Enter(ctx context.Context, t core.Token, _, h *core.Handler) 
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-1); err != nil {
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.nodes[i].minLv); err != nil {
 		return deadline("enter", h, err)
 	}
 	return nil
@@ -205,7 +204,7 @@ func (c *VCARoute) Complete(t core.Token) {
 	for i := range tok.released {
 		if !tok.released[i] {
 			tok.released[i] = true
-			tok.fp.states[i].request(tok.pv[i]-1, tok.pv[i])
+			tok.fp.states[i].requestNode(&tok.nodes[i])
 		}
 	}
 	tok.mu.Unlock()
@@ -263,7 +262,7 @@ func (tok *routeToken) scanReleaseLocked() {
 			tok.present[v] = false
 		}
 		tok.released[p] = true
-		tok.fp.states[p].request(tok.pv[p]-1, tok.pv[p])
+		tok.fp.states[p].requestNode(&tok.nodes[p])
 	}
 }
 

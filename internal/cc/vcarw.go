@@ -2,7 +2,6 @@ package cc
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -29,13 +28,19 @@ import (
 // enforced, not trusted. Whether a spec reads or writes each
 // microprotocol is spec-static, so it is computed once at footprint
 // compilation, not per spawn.
+//
+// Contention-wise, VCARW shards its group bookkeeping by slot (each
+// mpState carries its own rwState, guarded by the slot's spawnMu) but
+// takes no lock-free fast path: rule 1 here is not a pure counter
+// increment — joining or closing a reader group mutates lastVer/lastRO/
+// refs, which a CAS on gv cannot publish atomically. Disjoint spawns
+// still scale, because they touch disjoint spawnMu locks.
 type VCARW struct {
 	vt *versionTable
-
-	mu sync.Mutex // guards rw (group bookkeeping); nests inside vt.mu ordering: always take vt.mu first or alone
-	rw []*rwState // by dense slot; grown under both locks in Spawn
 }
 
+// rwState is one slot's reader-group bookkeeping, hanging off the slot's
+// mpState and guarded by its spawnMu.
 type rwState struct {
 	lastVer uint64
 	lastRO  bool
@@ -53,11 +58,16 @@ func (c *VCARW) Name() string { return "vca-rw" }
 // SetBlocker implements sched.Schedulable.
 func (c *VCARW) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 
-// rwToken carries private versions parallel to the spec's compiled
-// footprint; reader-ness comes from the footprint itself.
+// SpawnStats reports spawn admission-path counts; every VCARW spawn is a
+// slow-path (ordered-lock) spawn by design, so fast is always 0.
+func (c *VCARW) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
+
+// rwToken carries the computation's claims parallel to the spec's
+// compiled footprint (nodes[i].target is pv[i]); reader-ness comes from
+// the footprint itself.
 type rwToken struct {
-	fp *footprint
-	pv []uint64
+	fp    *footprint
+	nodes []relNode
 }
 
 // readerOf reports whether a computation with this spec can only read mp:
@@ -88,23 +98,22 @@ func readerOf(spec *core.Spec, mp *core.Microprotocol) bool {
 	return true
 }
 
-// Spawn implements rule 1 with reader-group sharing. It never blocks, so
-// the context is not consulted.
+// Spawn implements rule 1 with reader-group sharing: hold every declared
+// slot's spawnMu (in the footprint's compiled ascending-slot order, the
+// same discipline as versionTable.claimSlow), then per slot either join
+// the open reader group or take a fresh version. It never blocks on
+// admission, so the context is not consulted.
 func (c *VCARW) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 	fp := c.vt.footprint(spec)
-	t := &rwToken{fp: fp, pv: make([]uint64, len(fp.slots))}
-	c.vt.mu.Lock()
-	defer c.vt.mu.Unlock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i, slot := range fp.slots {
-		for len(c.rw) <= slot {
-			c.rw = append(c.rw, nil)
-		}
-		rw := c.rw[slot]
+	t := &rwToken{fp: fp, nodes: make([]relNode, len(fp.slots))}
+	for _, p := range fp.lockOrder {
+		fp.states[p].spawnMu.Lock()
+	}
+	for i, st := range fp.states {
+		rw := st.rw
 		if rw == nil {
 			rw = &rwState{refs: make(map[uint64]int)}
-			c.rw[slot] = rw
+			st.rw = rw
 		}
 		ro := fp.reader[i]
 		var pv uint64
@@ -112,14 +121,17 @@ func (c *VCARW) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
 			pv = rw.lastVer // join the open reader group
 			rw.refs[pv]++
 		} else {
-			c.vt.gv[slot]++
-			pv = c.vt.gv[slot]
+			pv = st.gv.Add(1)
 			rw.lastVer = pv
 			rw.lastRO = ro
 			rw.refs[pv] = 1
 		}
-		t.pv[i] = pv
+		t.nodes[i] = relNode{minLv: pv - 1, target: pv}
 	}
+	for _, p := range fp.lockOrder {
+		fp.states[p].spawnMu.Unlock()
+	}
+	c.vt.slowSpawns.Add(1)
 	return t, nil
 }
 
@@ -137,14 +149,15 @@ func (c *VCARW) Request(t core.Token, _, h *core.Handler) error {
 }
 
 // Enter implements rule 2; every member of a reader group satisfies it
-// simultaneously, since they share the private version.
+// simultaneously, since they share the private version (and hence the
+// claim's recorded minLv threshold).
 func (c *VCARW) Enter(ctx context.Context, t core.Token, _, h *core.Handler) error {
 	tok := t.(*rwToken)
 	i := tok.fp.pos(h.MP())
 	if i < 0 {
 		return undeclared(h, tok.fp.mps)
 	}
-	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.pv[i]-1); err != nil {
+	if err := tok.fp.states[i].waitAtLeastCtx(ctx, tok.nodes[i].minLv); err != nil {
 		return deadline("enter", h, err)
 	}
 	return nil
@@ -156,22 +169,24 @@ func (c *VCARW) Exit(core.Token, *core.Handler) {}
 // RootReturned implements core.Controller (no-op).
 func (c *VCARW) RootReturned(core.Token) {}
 
-// Complete implements rule 3; a reader group's upgrade fires when its last
-// member completes.
+// Complete implements rule 3; a reader group's upgrade fires when its
+// last member completes, pushing that member's embedded node. Group
+// members share (minLv, target), so which member's node carries the
+// release is immaterial.
 func (c *VCARW) Complete(t core.Token) {
 	tok := t.(*rwToken)
-	for i, slot := range tok.fp.slots {
-		pv := tok.pv[i]
-		c.mu.Lock()
-		rw := c.rw[slot]
+	for i, st := range tok.fp.states {
+		pv := tok.nodes[i].target
+		st.spawnMu.Lock()
+		rw := st.rw
 		rw.refs[pv]--
 		last := rw.refs[pv] == 0
 		if last {
 			delete(rw.refs, pv)
 		}
-		c.mu.Unlock()
+		st.spawnMu.Unlock()
 		if last {
-			tok.fp.states[i].request(pv-1, pv)
+			st.requestNode(&tok.nodes[i])
 		}
 	}
 }

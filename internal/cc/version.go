@@ -11,30 +11,69 @@ import (
 )
 
 // mpState is the per-microprotocol versioning state shared by the VCA*
-// controllers: the local version counter lv of the paper, an ordered
-// queue of parked waiters, and a queue of deferred release requests.
+// controllers: the local version counter lv of the paper, the global
+// version counter gv (rule 1), an ordered queue of parked waiters, and a
+// queue of deferred release requests. Since the contention work
+// (DESIGN.md §11) every microprotocol slot is an independent shard —
+// there is no controller-wide lock anywhere in the admission, wait, or
+// release paths.
 //
 // The paper's rules 3/4 read "wait until (1)/(2) is true, then upgrade the
-// local version". Two mechanisms keep that cheap:
+// local version". Three mechanisms keep that cheap:
 //
 //   - Deferred releases: a release request (minLv, target) is queued and
 //     applied — in ascending order — whenever lv changes and reaches
-//     minLv. Because minLv values derive from the atomically-ordered
-//     global counter increments of rule 1, applications happen exactly in
-//     spawn order, which is the correctness condition of the paper's
-//     proofs.
+//     minLv. Because minLv values derive from the per-slot-ordered gv
+//     increments of rule 1, applications happen exactly in spawn order,
+//     which is the correctness condition of the paper's proofs.
 //   - Targeted wakeups: every admission predicate used by the algorithms
 //     has the shape "lv >= threshold", so waiters park on an ordered
 //     queue keyed by the threshold they need. When lv advances, exactly
 //     the now-admissible prefix is woken; when an update leaves lv
 //     unchanged, nobody is signalled. The admission fast path reads lv
 //     atomically and never takes the mutex.
+//   - Group commit: releases are pushed onto a per-slot lock-free stack
+//     (relq) and one drainer folds the whole batch into the pending
+//     queue, advancing lv and waking the due waiters once per batch
+//     rather than once per release (requestNode/drain below).
 type mpState struct {
 	blk     sched.Blocker
 	mu      sync.Mutex
 	lv      atomic.Uint64 // written only under mu; read lock-free by waitAtLeast
 	pending []release     // sorted by minLv ascending
 	waiters []waitEntry   // sorted by min ascending; FIFO among equal thresholds
+
+	// Rule-1 admission shard. gv is the slot's global version counter;
+	// the invariant lv <= gv always holds (lv only ever rises to pv
+	// values that gv already passed). A slot is *quiescent* when
+	// lv == gv: every computation that ever claimed it has released it.
+	//
+	// spawnMu serializes slow-path claims on this slot. A multi-slot
+	// slow-path spawn holds the spawnMu of every declared slot
+	// simultaneously, acquired in ascending slot order (the footprint's
+	// compiled lockOrder), which makes the claim critical sections of
+	// conflicting spawns pairwise non-overlapping — hence totally ordered
+	// in time — so version orders can never cycle across slots. The
+	// lock-free fast path (versionTable.claimFast) bypasses spawnMu
+	// entirely: it CASes gv only at quiescence, which proves no
+	// conflicting computation is in flight.
+	spawnMu sync.Mutex
+	gv      atomic.Uint64
+
+	// fastSpawns counts spawns whose lock-free claim started at this
+	// slot; kept per-slot (not on the table) so the hot path never
+	// touches a shared cache line. versionTable.spawnStats sums them.
+	fastSpawns atomic.Uint64
+
+	// relq is the group-commit stack: completed computations push their
+	// embedded release nodes here lock-free; whoever wins the draining
+	// flag folds the batch into pending under mu and advances lv once.
+	relq     atomic.Pointer[relNode]
+	draining atomic.Uint32
+
+	// rw is VCARW's reader-group bookkeeping for this slot, created
+	// lazily and guarded by spawnMu. Nil for every other controller.
+	rw *rwState
 }
 
 // release asks for lv to be raised to target once lv >= minLv. Targets
@@ -42,6 +81,18 @@ type mpState struct {
 type release struct {
 	minLv  uint64
 	target uint64
+}
+
+// relNode is one deferred-release request on the group-commit stack.
+// Tokens embed one node per footprint position (filled at claim time:
+// minLv is the pre-claim gv, target the post-claim gv == pv), so the
+// steady-state release path allocates nothing. A node must be pushed at
+// most once; its fields are immutable from push until the drainer
+// consumes it.
+type relNode struct {
+	minLv  uint64
+	target uint64
+	next   *relNode
 }
 
 // waitEntry is one parked computation thread: the lv threshold it needs
@@ -160,15 +211,61 @@ func (st *mpState) bump() {
 	st.mu.Unlock()
 }
 
-// request queues (and immediately applies, if due) a release.
+// request queues a release, allocating its node. The steady-state paths
+// push token-embedded nodes through requestNode instead; this entry
+// point serves the rare flows with no node at hand (fast-path claim
+// abandonment, tests).
 func (st *mpState) request(minLv, target uint64) {
-	st.mu.Lock()
+	st.requestNode(&relNode{minLv: minLv, target: target})
+}
+
+// requestNode pushes one release onto the group-commit stack and joins
+// the drain protocol. Exactly one thread drains at a time; a push that
+// loses the draining flag returns immediately — the current drainer's
+// post-clear recheck is guaranteed to see the node. Uncontended (and
+// under the deterministic explorer, where requestNode contains no yield
+// point and therefore runs atomically), the push drains synchronously
+// and the call behaves exactly like the old one-release-one-wakeup path.
+func (st *mpState) requestNode(n *relNode) {
+	for {
+		head := st.relq.Load()
+		n.next = head
+		if st.relq.CompareAndSwap(head, n) {
+			break
+		}
+	}
+	st.drain()
+}
+
+// drain folds batches off the release stack into the pending queue until
+// the stack is observed empty: one advanceLocked per batch applies every
+// due release and wakes the whole now-admissible prefix of waiters in a
+// single pass — the group commit. The clear-then-recheck ordering against
+// requestNode's push-then-CAS makes lost releases impossible.
+func (st *mpState) drain() {
+	for st.draining.CompareAndSwap(0, 1) {
+		if batch := st.relq.Swap(nil); batch != nil {
+			st.mu.Lock()
+			for n := batch; n != nil; n = n.next {
+				st.enqueueLocked(n.minLv, n.target)
+			}
+			st.advanceLocked(st.lv.Load())
+			st.mu.Unlock()
+		}
+		st.draining.Store(0)
+		if st.relq.Load() == nil {
+			return
+		}
+	}
+}
+
+// enqueueLocked inserts one release into the pending queue, keeping it
+// sorted by minLv ascending. Callers hold st.mu.
+func (st *mpState) enqueueLocked(minLv, target uint64) {
 	i := sort.Search(len(st.pending), func(i int) bool { return st.pending[i].minLv >= minLv })
 	st.pending = append(st.pending, release{})
 	copy(st.pending[i+1:], st.pending[i:])
 	st.pending[i] = release{minLv: minLv, target: target}
-	st.advanceLocked(st.lv.Load())
-	st.mu.Unlock()
 }
 
 // advanceLocked raises lv to newLv, drains the due prefix of the pending
@@ -217,22 +314,33 @@ func (st *mpState) advanceLocked(newLv uint64) {
 // localVersion reports lv (for tests and introspection).
 func (st *mpState) localVersion() uint64 { return st.lv.Load() }
 
-// versionTable owns the dense microprotocol index, the global version
-// counters gv, and the mpState of every microprotocol a controller has
-// seen. Its mutex serializes spawns, making rule 1's multi-counter
-// increment atomic and totally ordering computations.
+// globalVersion reports gv (for tests and introspection).
+func (st *mpState) globalVersion() uint64 { return st.gv.Load() }
+
+// versionTable owns the dense microprotocol index and the mpState of
+// every microprotocol a controller has seen. Each state is a fully
+// independent shard — its own gv counter, admission lock, wait queue and
+// release stack — so the table's mutex guards only slot assignment and
+// is never touched after a spec's footprint has been compiled.
 //
 // Microprotocols get controller-local dense slots on first sight, so the
 // per-spawn work is an array walk over a compiled footprint rather than
 // pointer-keyed map churn.
 type versionTable struct {
-	blk    sched.Blocker
+	blk       sched.Blocker
+	useBounds bool // rule-1 deltas come from spec bounds (VCAbound)
+
 	mu     sync.Mutex
 	index  map[*core.Microprotocol]int // mp → dense slot; grows under mu
-	gv     []uint64                    // by dense slot
 	states []*mpState                  // by dense slot; pointers are stable
 
 	footprints sync.Map // *core.Spec → *footprint, compiled once per spec
+
+	// fastEmpty counts fast-path spawns of empty footprints (no slot to
+	// charge them to); slowSpawns counts ordered-lock spawns. Slot-charged
+	// fast counts live on the states — see mpState.fastSpawns.
+	fastEmpty  atomic.Uint64
+	slowSpawns atomic.Uint64
 }
 
 func newVersionTable() *versionTable {
@@ -240,6 +348,14 @@ func newVersionTable() *versionTable {
 		blk:   sched.DefaultBlocker(),
 		index: make(map[*core.Microprotocol]int),
 	}
+}
+
+// newBoundVersionTable creates a table whose rule-1 claims advance gv by
+// the spec's declared visit bounds instead of 1 (VCAbound's rule 1).
+func newBoundVersionTable() *versionTable {
+	vt := newVersionTable()
+	vt.useBounds = true
+	return vt
 }
 
 // setBlocker routes every park/wake point through blk. Must be called
@@ -253,31 +369,128 @@ func (vt *versionTable) setBlocker(blk sched.Blocker) {
 	vt.mu.Unlock()
 }
 
+// spawnStats reports how many spawns were admitted by the lock-free fast
+// path and by the ordered-lock slow path (for tests, benchmarks, and the
+// E11 tables).
+func (vt *versionTable) spawnStats() (fast, slow uint64) {
+	vt.mu.Lock()
+	fast = vt.fastEmpty.Load()
+	for _, st := range vt.states {
+		fast += st.fastSpawns.Load()
+	}
+	vt.mu.Unlock()
+	return fast, vt.slowSpawns.Load()
+}
+
 // slotLocked returns mp's dense slot, assigning the next one on first
 // sight. Callers hold vt.mu.
 func (vt *versionTable) slotLocked(mp *core.Microprotocol) int {
 	if i, ok := vt.index[mp]; ok {
 		return i
 	}
-	i := len(vt.gv)
+	i := len(vt.states)
 	vt.index[mp] = i
-	vt.gv = append(vt.gv, 0)
 	vt.states = append(vt.states, newMPState(vt.blk))
 	return i
 }
 
+// claim performs rule 1 for one spawn: every declared slot's gv advances
+// by its delta, and nodes[i] records the claim — minLv is the pre-claim
+// gv (the lv value the computation's admission waits for), target the
+// post-claim gv (the private version pv, and the lv value its release
+// will install). The same nodes are later pushed to the slots' release
+// stacks by Complete, so rule 3 allocates nothing.
+func (vt *versionTable) claim(fp *footprint, nodes []relNode) {
+	if vt.claimFast(fp, nodes) {
+		return
+	}
+	vt.claimSlow(fp, nodes)
+}
+
+// claimFast is the lock-free admission path: it succeeds only when every
+// declared slot is quiescent (lv == gv — no conflicting computation in
+// flight), publishing each claim by a CAS on the slot's gv. Quiescence
+// is what makes per-slot CAS sufficient for rule 1's atomicity: a claim
+// can never slot in *behind* an in-flight conflicting spawn, so the
+// per-slot version orders of any two computations always agree and the
+// admission waits of a fast-path computation are satisfied the moment it
+// is spawned. On any conflict the already-claimed prefix is rolled back
+// (or retired as an instantly-released phantom when a later claim has
+// built on it) and the spawn falls to the ordered-lock slow path.
+func (vt *versionTable) claimFast(fp *footprint, nodes []relNode) bool {
+	for _, st := range fp.states {
+		if st.gv.Load() != st.lv.Load() {
+			return false // conflicting computation in flight: don't claim
+		}
+	}
+	for i, st := range fp.states {
+		g := st.gv.Load()
+		if g != st.lv.Load() || !st.gv.CompareAndSwap(g, g+fp.deltas[i]) {
+			vt.unclaim(fp, nodes, i)
+			return false
+		}
+		nodes[i] = relNode{minLv: g, target: g + fp.deltas[i]}
+	}
+	if len(fp.states) > 0 {
+		fp.states[0].fastSpawns.Add(1)
+	} else {
+		vt.fastEmpty.Add(1)
+	}
+	return true
+}
+
+// unclaim abandons the first n fast-path claims of a failed claimFast.
+// A claim nobody has built on is reverted by the inverse CAS; one that a
+// concurrent spawn has already stacked a version on is retired as a
+// phantom — an instantly-completed computation whose release keeps the
+// slot's version chain gap-free.
+func (vt *versionTable) unclaim(fp *footprint, nodes []relNode, n int) {
+	for j := 0; j < n; j++ {
+		st := fp.states[j]
+		if !st.gv.CompareAndSwap(nodes[j].target, nodes[j].minLv) {
+			st.request(nodes[j].minLv, nodes[j].target)
+		}
+	}
+}
+
+// claimSlow is the ordered-lock admission path for overlapping
+// footprints: acquire the spawnMu of every declared slot in ascending
+// slot order (deadlock freedom), advance all the gv counters while
+// holding all the locks (two-phase — conflicting spawns' critical
+// sections cannot overlap, so cross-slot version orders cannot cycle),
+// then release. Disjoint spawns that both fall here still proceed in
+// parallel: they share no slot, hence no lock.
+func (vt *versionTable) claimSlow(fp *footprint, nodes []relNode) {
+	for _, p := range fp.lockOrder {
+		fp.states[p].spawnMu.Lock()
+	}
+	for i, st := range fp.states {
+		g := st.gv.Add(fp.deltas[i])
+		nodes[i] = relNode{minLv: g - fp.deltas[i], target: g}
+	}
+	for _, p := range fp.lockOrder {
+		fp.states[p].spawnMu.Unlock()
+	}
+	vt.slowSpawns.Add(1)
+}
+
 // footprint is a Spec compiled against one versionTable: for each
 // declared microprotocol, in Spec.MPs() order, its dense slot, resolved
-// mpState, visit bound (0 when the spec carries none), and whether the
-// spec can only read it. Route specs additionally carry a compiled
-// vertex-indexed view of the routing graph. A footprint is immutable
-// once published; Spawn reuses it for every computation of the spec.
+// mpState, visit bound (0 when the spec carries none), rule-1 delta,
+// and whether the spec can only read it. lockOrder lists the footprint
+// positions in ascending slot order — the slow path's lock acquisition
+// discipline, free because it is compiled once per spec. Route specs
+// additionally carry a compiled vertex-indexed view of the routing
+// graph. A footprint is immutable once published; Spawn reuses it for
+// every computation of the spec.
 type footprint struct {
-	mps    []*core.Microprotocol
-	slots  []int
-	states []*mpState
-	bounds []uint64
-	reader []bool
+	mps       []*core.Microprotocol
+	slots     []int
+	states    []*mpState
+	bounds    []uint64
+	deltas    []uint64
+	reader    []bool
+	lockOrder []int
 
 	route *routeInfo // nil for non-route specs
 }
@@ -319,11 +532,13 @@ func (vt *versionTable) footprint(spec *core.Spec) *footprint {
 func (vt *versionTable) compile(spec *core.Spec) *footprint {
 	mps := spec.MPs()
 	fp := &footprint{
-		mps:    mps,
-		slots:  make([]int, len(mps)),
-		states: make([]*mpState, len(mps)),
-		bounds: make([]uint64, len(mps)),
-		reader: make([]bool, len(mps)),
+		mps:       mps,
+		slots:     make([]int, len(mps)),
+		states:    make([]*mpState, len(mps)),
+		bounds:    make([]uint64, len(mps)),
+		deltas:    make([]uint64, len(mps)),
+		reader:    make([]bool, len(mps)),
+		lockOrder: make([]int, len(mps)),
 	}
 	vt.mu.Lock()
 	for i, mp := range mps {
@@ -336,8 +551,16 @@ func (vt *versionTable) compile(spec *core.Spec) *footprint {
 		if b, ok := spec.Bound(mp); ok && b > 0 {
 			fp.bounds[i] = uint64(b)
 		}
+		fp.deltas[i] = 1
+		if vt.useBounds && fp.bounds[i] > 0 {
+			fp.deltas[i] = fp.bounds[i]
+		}
 		fp.reader[i] = readerOf(spec, mp)
+		fp.lockOrder[i] = i
 	}
+	sort.Slice(fp.lockOrder, func(a, b int) bool {
+		return fp.slots[fp.lockOrder[a]] < fp.slots[fp.lockOrder[b]]
+	})
 	if g := spec.Graph(); g != nil {
 		fp.route = compileRoute(g, fp)
 	}

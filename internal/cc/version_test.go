@@ -215,8 +215,8 @@ func TestVersionTableDenseSlots(t *testing.T) {
 	if sp != 0 || sq != 1 || again != sp {
 		t.Fatalf("slots = %d, %d, %d; want 0, 1, 0", sp, sq, again)
 	}
-	if len(vt.gv) != 2 || len(vt.states) != 2 {
-		t.Fatalf("table sized %d/%d, want 2/2", len(vt.gv), len(vt.states))
+	if len(vt.states) != 2 {
+		t.Fatalf("table sized %d, want 2", len(vt.states))
 	}
 	if vt.states[sp] == nil || vt.states[sp] == vt.states[sq] {
 		t.Fatal("states must be distinct and non-nil")
@@ -249,5 +249,131 @@ func TestFootprintCompiledOnce(t *testing.T) {
 	}
 	if fp1.pos(core.NewMicroprotocol("other")) != -1 {
 		t.Fatal("pos of undeclared microprotocol must be -1")
+	}
+}
+
+// --- claim protocol: sharded admission, CAS fast path, group commit
+// (DESIGN.md §11) ---
+
+func TestClaimFastOnQuiescentSlots(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	q := core.NewMicroprotocol("q")
+	fp := vt.footprint(core.Access(p, q))
+	nodes := make([]relNode, 2)
+	vt.claim(fp, nodes)
+	for i := range nodes {
+		if nodes[i].minLv != 0 || nodes[i].target != 1 {
+			t.Fatalf("nodes[%d] = %+v, want {0 1}", i, nodes[i])
+		}
+		if got := fp.states[i].gv.Load(); got != 1 {
+			t.Fatalf("slot %d gv = %d, want 1", i, got)
+		}
+	}
+	if fast, slow := vt.spawnStats(); fast != 1 || slow != 0 {
+		t.Fatalf("stats fast=%d slow=%d, want 1/0", fast, slow)
+	}
+}
+
+func TestClaimFallsBackWhenInFlight(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	q := core.NewMicroprotocol("q")
+	fp := vt.footprint(core.Access(p, q))
+	n1 := make([]relNode, 2)
+	n2 := make([]relNode, 2)
+	vt.claim(fp, n1) // quiescent table: fast
+	vt.claim(fp, n2) // n1 in flight on both slots: ordered-lock slow path
+	for i := range n2 {
+		if n2[i].minLv != 1 || n2[i].target != 2 {
+			t.Fatalf("n2[%d] = %+v, want {1 2} (ordered after n1)", i, n2[i])
+		}
+	}
+	if fast, slow := vt.spawnStats(); fast != 1 || slow != 1 {
+		t.Fatalf("stats fast=%d slow=%d, want 1/1", fast, slow)
+	}
+	// Releasing both restores quiescence; the next claim is fast again.
+	for i := range n1 {
+		fp.states[i].requestNode(&n1[i])
+	}
+	for i := range n2 {
+		fp.states[i].requestNode(&n2[i])
+	}
+	n3 := make([]relNode, 2)
+	vt.claim(fp, n3)
+	if fast, slow := vt.spawnStats(); fast != 2 || slow != 1 {
+		t.Fatalf("stats fast=%d slow=%d, want 2/1", fast, slow)
+	}
+	if n3[0].target != 3 {
+		t.Fatalf("n3 target = %d, want 3", n3[0].target)
+	}
+}
+
+func TestUnclaimRollsBackUntouchedClaims(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	q := core.NewMicroprotocol("q")
+	fp := vt.footprint(core.Access(p, q))
+	nodes := make([]relNode, 2)
+	if !vt.claimFast(fp, nodes) {
+		t.Fatal("claimFast on a fresh table must succeed")
+	}
+	vt.unclaim(fp, nodes, 2)
+	for i, st := range fp.states {
+		if gv, lv := st.gv.Load(), st.lv.Load(); gv != 0 || lv != 0 {
+			t.Fatalf("slot %d after rollback: gv=%d lv=%d, want 0/0", i, gv, lv)
+		}
+	}
+}
+
+// TestUnclaimPhantomWhenBuiltUpon: a fast-path claim another spawn has
+// already stacked a version on cannot be CAS-reverted; unclaim retires it
+// as a phantom release, keeping the slot's version chain gap-free.
+func TestUnclaimPhantomWhenBuiltUpon(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	fp := vt.footprint(core.Access(p))
+	nodes := make([]relNode, 1)
+	if !vt.claimFast(fp, nodes) {
+		t.Fatal("claimFast on a fresh table must succeed")
+	}
+	st := fp.states[0]
+	st.gv.Add(1) // a concurrent claim builds on top (gv: 1 → 2)
+	vt.unclaim(fp, nodes, 1)
+	// The rollback CAS (1 → 0) must have failed; the phantom release
+	// (minLv 0, target 1) applies immediately, handing the slot to the
+	// stacked claim.
+	if gv, lv := st.gv.Load(), st.lv.Load(); gv != 2 || lv != 1 {
+		t.Fatalf("after phantom: gv=%d lv=%d, want 2/1", gv, lv)
+	}
+	// The stacked claim's own release then quiesces the slot.
+	st.request(1, 2)
+	if gv, lv := st.gv.Load(), st.lv.Load(); gv != 2 || lv != 2 {
+		t.Fatalf("after stacked release: gv=%d lv=%d, want 2/2", gv, lv)
+	}
+}
+
+// TestDrainBatchesGroupCommit: releases pushed while another thread holds
+// the drain flag pile up on the stack, and one drain folds the whole
+// batch — applying the cascade and advancing lv once.
+func TestDrainBatchesGroupCommit(t *testing.T) {
+	st := newMPState(sched.DefaultBlocker())
+	if !st.draining.CompareAndSwap(0, 1) {
+		t.Fatal("fresh state must not be draining")
+	}
+	// Pushers lose the drain flag and return; nothing applies yet.
+	st.request(2, 3)
+	st.request(0, 1)
+	st.request(1, 2)
+	if got := st.localVersion(); got != 0 {
+		t.Fatalf("lv = %d while drain flag held elsewhere, want 0", got)
+	}
+	st.draining.Store(0)
+	st.drain() // the whole batch folds in one group commit
+	if got := st.localVersion(); got != 3 {
+		t.Fatalf("lv = %d after batch drain, want 3", got)
+	}
+	if st.relq.Load() != nil {
+		t.Fatal("release stack must be empty after drain")
 	}
 }

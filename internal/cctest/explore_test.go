@@ -24,6 +24,7 @@ func exploreTargets() []exploreTarget {
 	return []exploreTarget{
 		{name: "serial", neW: func() core.Controller { return cc.NewSerial() }, kind: cctest.KindBasic},
 		{name: "vca-basic", neW: func() core.Controller { return cc.NewVCABasic() }, kind: cctest.KindBasic},
+		{name: "ref-vca-basic", neW: func() core.Controller { return cc.NewRefVCABasic() }, kind: cctest.KindBasic},
 		{name: "vca-bound", neW: func() core.Controller { return cc.NewVCABound() }, kind: cctest.KindBound},
 		{name: "vca-route", neW: func() core.Controller { return cc.NewVCARoute() }, kind: cctest.KindRoute},
 		{name: "vca-rw", neW: func() core.Controller { return cc.NewVCARW() }, kind: cctest.KindBasic},
