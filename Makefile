@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet samoa-vet test race race-contend bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep examples clean
+.PHONY: all build vet samoa-vet test race race-contend socket-tests node-demo bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep examples clean
 
 all: build vet samoa-vet test
 
@@ -33,6 +33,20 @@ race:
 race-contend:
 	$(GO) test -race -run 'Sharded|Differential|ExploreReachesFastPath' ./internal/cc -count=1
 	$(GO) test -race -run '^$$' -bench 'Contention' -benchtime 200x .
+
+# Real-socket substrate (DESIGN.md §12) under the race detector: the
+# backend-agnostic transport conformance suite against simnet AND udpnet,
+# the udpnet framing/crash/restart tests, the kvstore cluster over real
+# loopback sockets, and the 3-process samoa-node integration test.
+# Tests skip (with a reason) where loopback UDP is unavailable.
+socket-tests:
+	$(GO) test -race -count=1 ./internal/transport/... ./cmd/samoa-node
+	$(GO) test -race -count=1 -run UDPCluster ./internal/kvstore
+
+# 3-process replicated-KV demo on loopback: boots three samoa-node
+# processes on fixed ports and drives them with the built-in client.
+node-demo:
+	sh scripts/node-demo.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -67,6 +81,7 @@ fuzz-smoke:
 	$(GO) test ./internal/gc -run '^$$' -fuzz FuzzDecodeMessages -fuzztime 30s
 	$(GO) test ./internal/gc -run '^$$' -fuzz FuzzSiteSurvivesGarbageDatagrams -fuzztime 30s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzChecker -fuzztime 30s
+	$(GO) test ./internal/transport/udpnet -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s
 
 # Deterministic schedule exploration (internal/sched). `explore` is the
 # quick pass: random walk + PCT + shallow DFS over every isolating

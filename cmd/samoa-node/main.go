@@ -1,0 +1,270 @@
+// Command samoa-node runs one site of the replicated key-value store
+// over real UDP sockets — the paper's "distributed machines" deployment
+// (§7) of the stack this repository otherwise exercises in-process: the
+// full SAMOA microprotocol pipeline (RelComm, RelCast, FD, Consensus,
+// ABcast, Membership) under a versioning concurrency controller,
+// carried by internal/transport/udpnet.
+//
+// A cluster is an address list; each process hosts one entry:
+//
+//	samoa-node -id 0 -peers 127.0.0.1:7841,127.0.0.1:7842,127.0.0.1:7843 -http 127.0.0.1:7851 &
+//	samoa-node -id 1 -peers 127.0.0.1:7841,127.0.0.1:7842,127.0.0.1:7843 -http 127.0.0.1:7852 &
+//	samoa-node -id 2 -peers 127.0.0.1:7841,127.0.0.1:7842,127.0.0.1:7843 -http 127.0.0.1:7853 &
+//
+// Clients speak HTTP to any node (writes ride the total order to every
+// replica; reads are local):
+//
+//	samoa-node -server 127.0.0.1:7851 put greeting hello
+//	samoa-node -server 127.0.0.1:7852 get greeting        # → hello, replicated
+//	samoa-node -server 127.0.0.1:7853 cas greeting hello goodbye
+//	samoa-node -server 127.0.0.1:7851 stats
+//
+// On startup the node prints one machine-parseable line:
+//
+//	samoa-node id=0 udp=127.0.0.1:7841 http=127.0.0.1:7851
+//
+// so harnesses that bind kernel-assigned ports (-http 127.0.0.1:0, or a
+// -conn-fd inherited UDP socket) can discover the real addresses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/kvstore"
+	"repro/internal/transport"
+	"repro/internal/transport/udpnet"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this node's ID (index into -peers)")
+	peers := flag.String("peers", "", "comma-separated UDP address per node, indexed by ID")
+	httpAddr := flag.String("http", "127.0.0.1:0", "HTTP listen address for the KV API")
+	connFD := flag.Int("conn-fd", -1, "inherited file descriptor to use as the local UDP socket (for harnesses that pre-bind port-0 sockets)")
+	rto := flag.Duration("rto", 15*time.Millisecond, "retransmission timeout")
+	fdInterval := flag.Duration("fd-interval", 25*time.Millisecond, "failure-detector heartbeat period")
+	server := flag.String("server", "", "client mode: HTTP address of a running node; followed by get|put|del|cas|stats and arguments")
+	flag.Parse()
+
+	if *server != "" {
+		os.Exit(runClient(*server, flag.Args()))
+	}
+	if err := runNode(*id, *peers, *httpAddr, *connFD, *rto, *fdInterval); err != nil {
+		fmt.Fprintf(os.Stderr, "samoa-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runNode(id int, peers, httpAddr string, connFD int, rto, fdInterval time.Duration) error {
+	if peers == "" {
+		return fmt.Errorf("-peers required (comma-separated UDP addresses)")
+	}
+	addrs := strings.Split(peers, ",")
+	if id < 0 || id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d peers", id, len(addrs))
+	}
+
+	cfg := udpnet.Config{
+		Addrs: addrs,
+		Local: []transport.NodeID{transport.NodeID(id)},
+	}
+	if connFD >= 0 {
+		f := os.NewFile(uintptr(connFD), "udp-conn")
+		if f == nil {
+			return fmt.Errorf("-conn-fd %d is not a valid descriptor", connFD)
+		}
+		conn, err := net.FilePacketConn(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-conn-fd %d: %w", connFD, err)
+		}
+		cfg.Conns = make([]net.PacketConn, len(addrs))
+		cfg.Conns[id] = conn
+	}
+	tr, err := udpnet.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	ids := make([]transport.NodeID, len(addrs))
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	store := kvstore.New(kvstore.Config{
+		Net: tr, ID: transport.NodeID(id), InitialView: gc.NewView(ids...),
+		Site: gc.Config{RTO: rto, FDInterval: fdInterval},
+	})
+	store.Start()
+
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		store.Stop()
+		return fmt.Errorf("http listen: %w", err)
+	}
+	srv := &http.Server{Handler: api(store, tr, id)}
+	fmt.Printf("samoa-node id=%d udp=%s http=%s\n", id, tr.Addr(transport.NodeID(id)), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("samoa-node id=%d: %v, draining\n", id, sig)
+	case err := <-errc:
+		store.Stop()
+		return fmt.Errorf("http serve: %w", err)
+	}
+	srv.Close()
+	store.Stop()
+	for _, err := range store.Errs() {
+		return fmt.Errorf("replica error: %w", err)
+	}
+	return nil
+}
+
+// api is the node's HTTP surface: reads are local, writes ride the
+// total-order broadcast and return once applied on this replica.
+func api(store *kvstore.Store, tr *udpnet.Net, id int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := store.Get(r.PathValue("key"))
+		if !ok {
+			http.Error(w, "no such key", http.StatusNotFound)
+			return
+		}
+		io.WriteString(w, v)
+	})
+	mux.HandleFunc("PUT /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := store.Put(r.PathValue("key"), string(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("DELETE /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if err := store.Delete(r.PathValue("key")); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /cas/{key}", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		ok, err := store.CAS(r.PathValue("key"), q.Get("old"), q.Get("new"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%v", ok)
+	})
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id":        id,
+			"applied":   store.Applied(),
+			"keys":      store.Len(),
+			"transport": tr.Stats(),
+		})
+	})
+	return mux
+}
+
+// runClient performs one KV operation against a running node.
+func runClient(server string, args []string) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(os.Stderr, "samoa-node: "+format+"\n", a...)
+		return 1
+	}
+	if len(args) == 0 {
+		return fail("client mode needs a command: get|put|del|cas|stats")
+	}
+	base := server
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	do := func(req *http.Request) (string, int, error) {
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), resp.StatusCode, err
+	}
+	newReq := func(method, path string) (*http.Request, error) {
+		return http.NewRequest(method, base+path, nil)
+	}
+
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "get":
+		if len(args) != 1 {
+			return fail("usage: get <key>")
+		}
+		req, _ := newReq("GET", "/kv/"+url.PathEscape(args[0]))
+		body, code, err := do(req)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if code == http.StatusNotFound {
+			return fail("no such key %q", args[0])
+		}
+		fmt.Println(body)
+	case "put":
+		if len(args) != 2 {
+			return fail("usage: put <key> <value>")
+		}
+		req, _ := http.NewRequest("PUT", base+"/kv/"+url.PathEscape(args[0]), strings.NewReader(args[1]))
+		if body, code, err := do(req); err != nil || code >= 300 {
+			return fail("put failed: %v %s (code %d)", err, body, code)
+		}
+	case "del":
+		if len(args) != 1 {
+			return fail("usage: del <key>")
+		}
+		req, _ := newReq("DELETE", "/kv/"+url.PathEscape(args[0]))
+		if body, code, err := do(req); err != nil || code >= 300 {
+			return fail("del failed: %v %s (code %d)", err, body, code)
+		}
+	case "cas":
+		if len(args) != 3 {
+			return fail("usage: cas <key> <old> <new>")
+		}
+		q := url.Values{"old": {args[1]}, "new": {args[2]}}
+		req, _ := newReq("POST", "/cas/"+url.PathEscape(args[0])+"?"+q.Encode())
+		body, code, err := do(req)
+		if err != nil || code >= 300 {
+			return fail("cas failed: %v %s (code %d)", err, body, code)
+		}
+		fmt.Println(body)
+	case "stats":
+		req, _ := newReq("GET", "/statusz")
+		body, _, err := do(req)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Println(body)
+	default:
+		return fail("unknown command %q: want get|put|del|cas|stats", cmd)
+	}
+	return 0
+}

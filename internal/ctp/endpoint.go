@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // SpecKind selects the isolated variant the Endpoint's computations
@@ -24,8 +24,8 @@ const (
 // Config describes one transport endpoint.
 type Config struct {
 	// Net, ID, Peer place the endpoint and name its single peer.
-	Net      *simnet.Network
-	ID, Peer simnet.NodeID
+	Net      transport.Transport
+	ID, Peer transport.NodeID
 	// MSS is the maximum fragment payload (default 512 bytes).
 	MSS int
 	// Composition flags. Ordered requires Reliable (an unreliable
@@ -61,7 +61,7 @@ type Config struct {
 type Endpoint struct {
 	cfg   Config
 	stack *core.Stack
-	node  *simnet.Node
+	node  transport.Endpoint
 
 	seg  *Segment
 	ord  *Order
@@ -115,7 +115,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 
 	e := &Endpoint{
 		cfg:  cfg,
-		node: cfg.Net.Node(cfg.ID),
+		node: cfg.Net.Endpoint(cfg.ID),
 		quit: make(chan struct{}),
 		sem:  make(chan struct{}, cfg.PumpWorkers),
 	}

@@ -10,7 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dedupe"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -412,13 +412,13 @@ func (c *Checksum) BadFrames() uint64 { return c.bad.Load() }
 // WireOut is the egress microprotocol: frames to the peer node.
 type WireOut struct {
 	mp   *core.Microprotocol
-	node *simnet.Node
-	peer simnet.NodeID
+	node transport.Endpoint
+	peer transport.NodeID
 
 	hSend *core.Handler
 }
 
-func newWireOut(node *simnet.Node, peer simnet.NodeID) *WireOut {
+func newWireOut(node transport.Endpoint, peer transport.NodeID) *WireOut {
 	w := &WireOut{
 		mp:   core.NewMicroprotocol("wire"),
 		node: node,

@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -14,7 +14,7 @@ type abcastReq struct {
 	kind uint8
 	data []byte
 	op   byte
-	site simnet.NodeID
+	site transport.NodeID
 }
 
 // ABcast is the atomic (total-order) broadcast microprotocol (paper §3,
@@ -26,7 +26,7 @@ type abcastReq struct {
 // in the pool and ride the next instance.
 type ABcast struct {
 	mp       *core.Microprotocol
-	self     simnet.NodeID
+	self     transport.NodeID
 	ev       *events
 	batchMax int
 
@@ -41,7 +41,7 @@ type ABcast struct {
 	hABcast, hRecv, hOnDecide, hSync, hSendSync *core.Handler
 }
 
-func newABcast(self simnet.NodeID, batchMax int, ev *events) *ABcast {
+func newABcast(self transport.NodeID, batchMax int, ev *events) *ABcast {
 	a := &ABcast{
 		mp:        core.NewMicroprotocol("abcast"),
 		self:      self,
@@ -166,7 +166,7 @@ func (a *ABcast) sync(ctx *core.Context, msg core.Message) error {
 // inside the flush of the instance that decided the join — so the joiner
 // must resume after that instance.
 func (a *ABcast) sendSync(ctx *core.Context, msg core.Message) error {
-	to := msg.(simnet.NodeID)
+	to := msg.(transport.NodeID)
 	next := a.nextDecide
 	if a.inFlush && a.flushInst+1 > next {
 		next = a.flushInst + 1

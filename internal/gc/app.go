@@ -2,7 +2,7 @@ package gc
 
 import (
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // App is the application-facing microprotocol: it turns deliveries and
@@ -12,14 +12,14 @@ import (
 type App struct {
 	mp *core.Microprotocol
 
-	deliver  func(from simnet.NodeID, data []byte)
-	rdeliver func(from simnet.NodeID, data []byte)
+	deliver  func(from transport.NodeID, data []byte)
+	rdeliver func(from transport.NodeID, data []byte)
 	onView   func(v *View)
 
 	hDeliver, hRDeliver, hViewChange *core.Handler
 }
 
-func newApp(deliver, rdeliver func(from simnet.NodeID, data []byte), onView func(*View)) *App {
+func newApp(deliver, rdeliver func(from transport.NodeID, data []byte), onView func(*View)) *App {
 	a := &App{
 		mp:       core.NewMicroprotocol("app"),
 		deliver:  deliver,

@@ -2,7 +2,7 @@ package gc
 
 import (
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -22,30 +22,30 @@ import (
 // broadcast kinds).
 type Causal struct {
 	mp   *core.Microprotocol
-	self simnet.NodeID
+	self transport.NodeID
 	ev   *events
 
-	vc      map[simnet.NodeID]uint64
+	vc      map[transport.NodeID]uint64
 	sent    uint64 // own broadcasts issued; may run ahead of vc[self]
 	pending []causalMsg
 
-	deliver func(from simnet.NodeID, data []byte)
+	deliver func(from transport.NodeID, data []byte)
 
 	hBcast, hRecv *core.Handler
 }
 
 type causalMsg struct {
-	origin simnet.NodeID
-	vc     map[simnet.NodeID]uint64
+	origin transport.NodeID
+	vc     map[transport.NodeID]uint64
 	data   []byte
 }
 
-func newCausal(self simnet.NodeID, ev *events, deliver func(simnet.NodeID, []byte)) *Causal {
+func newCausal(self transport.NodeID, ev *events, deliver func(transport.NodeID, []byte)) *Causal {
 	c := &Causal{
 		mp:      core.NewMicroprotocol("causal"),
 		self:    self,
 		ev:      ev,
-		vc:      make(map[simnet.NodeID]uint64),
+		vc:      make(map[transport.NodeID]uint64),
 		deliver: deliver,
 	}
 	c.hBcast = c.mp.AddHandler("bcast", c.bcast)
@@ -53,7 +53,7 @@ func newCausal(self simnet.NodeID, ev *events, deliver func(simnet.NodeID, []byt
 	return c
 }
 
-func encodeVC(w *wire.Writer, vc map[simnet.NodeID]uint64) {
+func encodeVC(w *wire.Writer, vc map[transport.NodeID]uint64) {
 	w.UVarint(uint64(len(vc)))
 	for site, n := range vc {
 		w.U16(uint16(site))
@@ -61,14 +61,14 @@ func encodeVC(w *wire.Writer, vc map[simnet.NodeID]uint64) {
 	}
 }
 
-func decodeVC(r *wire.Reader) map[simnet.NodeID]uint64 {
+func decodeVC(r *wire.Reader) map[transport.NodeID]uint64 {
 	n := r.UVarint()
 	if n > 1<<16 {
 		return nil
 	}
-	vc := make(map[simnet.NodeID]uint64, n)
+	vc := make(map[transport.NodeID]uint64, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
-		site := simnet.NodeID(r.U16())
+		site := transport.NodeID(r.U16())
 		vc[site] = r.U64()
 	}
 	return vc
@@ -82,7 +82,7 @@ func decodeVC(r *wire.Reader) map[simnet.NodeID]uint64 {
 // broadcast kind.
 func (c *Causal) bcast(ctx *core.Context, msg core.Message) error {
 	data := msg.([]byte)
-	stamp := make(map[simnet.NodeID]uint64, len(c.vc)+1)
+	stamp := make(map[transport.NodeID]uint64, len(c.vc)+1)
 	for k, v := range c.vc {
 		stamp[k] = v
 	}

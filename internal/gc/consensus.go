@@ -2,7 +2,7 @@ package gc
 
 import (
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -40,11 +40,11 @@ type consInst struct {
 	// Coordinator-side bookkeeping.
 	prepared    bool
 	prepRound   uint32
-	promises    map[simnet.NodeID]promiseVal
+	promises    map[transport.NodeID]promiseVal
 	acceptSent  bool
 	acceptRound uint32
 	acceptVal   []CastMsg
-	accepts     map[simnet.NodeID]bool
+	accepts     map[transport.NodeID]bool
 	decideSent  bool
 }
 
@@ -66,23 +66,23 @@ type consInst struct {
 // keeps every path uniform.
 type Consensus struct {
 	mp   *core.Microprotocol
-	self simnet.NodeID
+	self transport.NodeID
 	ev   *events
 
 	view     *View
-	suspects map[simnet.NodeID]bool
+	suspects map[transport.NodeID]bool
 	insts    map[uint64]*consInst
 
 	hPropose, hRecv, hSuspect, hViewChange *core.Handler
 }
 
-func newConsensus(self simnet.NodeID, initial *View, ev *events) *Consensus {
+func newConsensus(self transport.NodeID, initial *View, ev *events) *Consensus {
 	c := &Consensus{
 		mp:       core.NewMicroprotocol("consensus"),
 		self:     self,
 		ev:       ev,
 		view:     initial,
-		suspects: make(map[simnet.NodeID]bool),
+		suspects: make(map[transport.NodeID]bool),
 		insts:    make(map[uint64]*consInst),
 	}
 	c.hPropose = c.mp.AddHandler("propose", c.propose)
@@ -101,7 +101,7 @@ func (c *Consensus) get(inst uint64) *consInst {
 	return st
 }
 
-func (c *Consensus) sendTo(ctx *core.Context, to simnet.NodeID, m *consMsg) error {
+func (c *Consensus) sendTo(ctx *core.Context, to transport.NodeID, m *consMsg) error {
 	return ctx.Trigger(c.ev.SendOut, rcSendReq{to: to, inner: encodeConsFrame(m)})
 }
 
@@ -157,7 +157,7 @@ func (c *Consensus) tryCoordinate(ctx *core.Context, inst uint64, st *consInst) 
 	if !st.prepared || st.prepRound != st.round {
 		st.prepared = true
 		st.prepRound = st.round
-		st.promises = make(map[simnet.NodeID]promiseVal)
+		st.promises = make(map[transport.NodeID]promiseVal)
 		return c.sendAll(ctx, &consMsg{Type: cPrepare, Inst: inst, Round: st.round})
 	}
 	return nil
@@ -167,7 +167,7 @@ func (c *Consensus) sendAccept(ctx *core.Context, inst uint64, st *consInst, val
 	st.acceptSent = true
 	st.acceptRound = st.round
 	st.acceptVal = value
-	st.accepts = make(map[simnet.NodeID]bool)
+	st.accepts = make(map[transport.NodeID]bool)
 	return c.sendAll(ctx, &consMsg{Type: cAccept, Inst: inst, Round: st.round, HasValue: true, Value: value})
 }
 

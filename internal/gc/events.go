@@ -7,7 +7,7 @@ import "repro/internal/core"
 // (e.g. "Protocol RelCast (SendOut, DeliverOut, Bcast, FromRComm,
 // ViewChange : Event)").
 type events struct {
-	FromNet    *core.EventType // simnet.Datagram → relcomm.recv
+	FromNet    *core.EventType // transport.Datagram → relcomm.recv
 	NetSend    *core.EventType // outDatagram → netout.send
 	SendOut    *core.EventType // rcSendReq → relcomm.send
 	FromRComm  *core.EventType // rcRecvd → relcast.recv + consensus.recv
@@ -21,10 +21,10 @@ type events struct {
 	ADeliver   *core.EventType // CastMsg → membership.deliverView + app.deliver
 	ViewChange *core.EventType // *View → relcast, relcomm, fd, consensus, app
 	JoinLeave  *core.EventType // joinLeaveReq → membership.joinleave
-	SyncReq    *core.EventType // simnet.NodeID → abcast.sendSync
+	SyncReq    *core.EventType // transport.NodeID → abcast.sendSync
 	RetrTick   *core.EventType // nil → relcomm.retransmit
 	FDTick     *core.EventType // nil → fd.tick
-	FDBeat     *core.EventType // simnet.Datagram → fd.beat
+	FDBeat     *core.EventType // transport.Datagram → fd.beat
 	Suspect    *core.EventType // suspicion → consensus.suspect
 }
 

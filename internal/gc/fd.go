@@ -4,12 +4,12 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // suspicion announces that a site is suspected to have crashed.
 type suspicion struct {
-	site simnet.NodeID
+	site transport.NodeID
 }
 
 // FD is a heartbeat failure detector in the eventually-perfect style: each
@@ -20,26 +20,26 @@ type suspicion struct {
 // event is needed for the protocols built here).
 type FD struct {
 	mp           *core.Microprotocol
-	self         simnet.NodeID
+	self         transport.NodeID
 	ev           *events
 	suspectAfter time.Duration
 
 	view      *View
-	lastHeard map[simnet.NodeID]time.Time
-	suspected map[simnet.NodeID]bool
+	lastHeard map[transport.NodeID]time.Time
+	suspected map[transport.NodeID]bool
 
 	hTick, hBeat, hViewChange *core.Handler
 }
 
-func newFD(self simnet.NodeID, initial *View, suspectAfter time.Duration, ev *events) *FD {
+func newFD(self transport.NodeID, initial *View, suspectAfter time.Duration, ev *events) *FD {
 	f := &FD{
 		mp:           core.NewMicroprotocol("fd"),
 		self:         self,
 		ev:           ev,
 		suspectAfter: suspectAfter,
 		view:         initial,
-		lastHeard:    make(map[simnet.NodeID]time.Time),
-		suspected:    make(map[simnet.NodeID]bool),
+		lastHeard:    make(map[transport.NodeID]time.Time),
+		suspected:    make(map[transport.NodeID]bool),
 	}
 	now := time.Now()
 	for _, m := range initial.Members() {
@@ -74,7 +74,7 @@ func (f *FD) tick(ctx *core.Context, _ core.Message) error {
 
 // beat records a heartbeat from a peer.
 func (f *FD) beat(_ *core.Context, msg core.Message) error {
-	from := msg.(simnet.Datagram).From
+	from := msg.(transport.Datagram).From
 	f.lastHeard[from] = time.Now()
 	delete(f.suspected, from)
 	return nil

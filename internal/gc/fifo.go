@@ -2,7 +2,7 @@ package gc
 
 import (
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -19,25 +19,25 @@ import (
 // drawn from.
 type Fifo struct {
 	mp   *core.Microprotocol
-	self simnet.NodeID
+	self transport.NodeID
 	ev   *events
 
 	nextOut uint64
-	nextIn  map[simnet.NodeID]uint64
-	buffer  map[simnet.NodeID]map[uint64][]byte
+	nextIn  map[transport.NodeID]uint64
+	buffer  map[transport.NodeID]map[uint64][]byte
 
-	deliver func(from simnet.NodeID, data []byte)
+	deliver func(from transport.NodeID, data []byte)
 
 	hBcast, hRecv *core.Handler
 }
 
-func newFifo(self simnet.NodeID, ev *events, deliver func(simnet.NodeID, []byte)) *Fifo {
+func newFifo(self transport.NodeID, ev *events, deliver func(transport.NodeID, []byte)) *Fifo {
 	f := &Fifo{
 		mp:      core.NewMicroprotocol("fifo"),
 		self:    self,
 		ev:      ev,
-		nextIn:  make(map[simnet.NodeID]uint64),
-		buffer:  make(map[simnet.NodeID]map[uint64][]byte),
+		nextIn:  make(map[transport.NodeID]uint64),
+		buffer:  make(map[transport.NodeID]map[uint64][]byte),
 		deliver: deliver,
 	}
 	f.hBcast = f.mp.AddHandler("bcast", f.bcast)

@@ -2,13 +2,13 @@ package gc
 
 import (
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // joinLeaveReq asks Membership to add ('+') or remove ('-') a site.
 type joinLeaveReq struct {
 	op   byte
-	site simnet.NodeID
+	site transport.NodeID
 }
 
 // Membership maintains the group view (paper §3): join/leave operations
@@ -18,7 +18,7 @@ type joinLeaveReq struct {
 // verbatim the paper's Membership pseudocode.
 type Membership struct {
 	mp   *core.Microprotocol
-	self simnet.NodeID
+	self transport.NodeID
 	ev   *events
 
 	view *View
@@ -26,7 +26,7 @@ type Membership struct {
 	hJoinLeave, hDeliverView *core.Handler
 }
 
-func newMembership(self simnet.NodeID, initial *View, ev *events) *Membership {
+func newMembership(self transport.NodeID, initial *View, ev *events) *Membership {
 	m := &Membership{
 		mp:   core.NewMicroprotocol("membership"),
 		self: self,

@@ -3,7 +3,7 @@ package gc
 import (
 	"fmt"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -45,7 +45,7 @@ const (
 // per-origin sequence number. It doubles as the total-order tie-breaker
 // inside decided batches.
 type MsgID struct {
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Seq    uint64
 }
 
@@ -67,7 +67,7 @@ type CastMsg struct {
 	Kind uint8 // castApp or castViewChg
 	Data []byte
 	Op   byte // '+' or '-' (castViewChg)
-	Site simnet.NodeID
+	Site transport.NodeID
 }
 
 func (m *CastMsg) encode(w *wire.Writer) {
@@ -85,13 +85,13 @@ func (m *CastMsg) encode(w *wire.Writer) {
 
 func decodeCastMsg(r *wire.Reader) CastMsg {
 	var m CastMsg
-	m.ID.Origin = simnet.NodeID(r.U16())
+	m.ID.Origin = transport.NodeID(r.U16())
 	m.ID.Seq = r.U64()
 	m.Kind = r.U8()
 	switch m.Kind {
 	case castViewChg:
 		m.Op = r.U8()
-		m.Site = simnet.NodeID(r.U16())
+		m.Site = transport.NodeID(r.U16())
 	default:
 		m.Data = append([]byte(nil), r.BytesPrefixed()...)
 	}

@@ -2,12 +2,12 @@ package gc
 
 import (
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // outDatagram asks NetOut to transmit bytes to a site.
 type outDatagram struct {
-	to   simnet.NodeID
+	to   transport.NodeID
 	data []byte
 }
 
@@ -18,10 +18,10 @@ type outDatagram struct {
 type NetOut struct {
 	mp   *core.Microprotocol
 	send *core.Handler
-	node *simnet.Node
+	node transport.Endpoint
 }
 
-func newNetOut(node *simnet.Node) *NetOut {
+func newNetOut(node transport.Endpoint) *NetOut {
 	n := &NetOut{
 		mp:   core.NewMicroprotocol("netout"),
 		node: node,

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dedupe"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -20,12 +20,12 @@ import (
 // rebroadcasts a given message at most once (the seen set).
 type RelCast struct {
 	mp   *core.Microprotocol
-	self simnet.NodeID
+	self transport.NodeID
 	ev   *events
 
 	view atomic.Pointer[View]
-	seen map[simnet.NodeID]*dedupe.Seq // per-origin, high-water compacted
-	seq  uint64                        // per-origin ID allocator for locally originated casts
+	seen map[transport.NodeID]*dedupe.Seq // per-origin, high-water compacted
+	seq  uint64                           // per-origin ID allocator for locally originated casts
 
 	// afterViewChange is the E6 test hook: it runs after RelCast
 	// installed a new view but before RelComm gets to (bind order), the
@@ -35,12 +35,12 @@ type RelCast struct {
 	hBcast, hRecv, hViewChange *core.Handler
 }
 
-func newRelCast(self simnet.NodeID, initial *View, ev *events, afterViewChange func()) *RelCast {
+func newRelCast(self transport.NodeID, initial *View, ev *events, afterViewChange func()) *RelCast {
 	rb := &RelCast{
 		mp:              core.NewMicroprotocol("relcast"),
 		self:            self,
 		ev:              ev,
-		seen:            make(map[simnet.NodeID]*dedupe.Seq),
+		seen:            make(map[transport.NodeID]*dedupe.Seq),
 		afterViewChange: afterViewChange,
 	}
 	rb.view.Store(initial)

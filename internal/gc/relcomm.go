@@ -6,21 +6,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dedupe"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // rcSendReq asks RelComm to reliably send an inner payload to a site
 // (the paper's SendOut event message: (m, site)).
 type rcSendReq struct {
-	to    simnet.NodeID
+	to    transport.NodeID
 	inner []byte
 }
 
 // rcRecvd is a reliably-delivered inner payload (the paper's FromRComm
 // event message).
 type rcRecvd struct {
-	sender simnet.NodeID
+	sender transport.NodeID
 	inner  []byte
 }
 
@@ -43,17 +43,17 @@ type pendingSend struct {
 // data race.
 type RelComm struct {
 	mp     *core.Microprotocol
-	self   simnet.NodeID
+	self   transport.NodeID
 	rto    time.Duration
 	window int // max unacknowledged messages per peer; <=0 = unlimited
 	ev     *events
 
 	view atomic.Pointer[View]
 
-	nextSeq map[simnet.NodeID]uint64
-	pending map[simnet.NodeID]map[uint64]*pendingSend
-	queued  map[simnet.NodeID][][]byte // flow control: waiting for window space
-	seen    map[simnet.NodeID]*dedupe.Seq
+	nextSeq map[transport.NodeID]uint64
+	pending map[transport.NodeID]map[uint64]*pendingSend
+	queued  map[transport.NodeID][][]byte // flow control: waiting for window space
+	seen    map[transport.NodeID]*dedupe.Seq
 
 	// droppedStale counts sends discarded because the target was not in
 	// the view — the observable of the §3 Problem.
@@ -62,17 +62,17 @@ type RelComm struct {
 	hSend, hRecv, hRetransmit, hViewChange *core.Handler
 }
 
-func newRelComm(self simnet.NodeID, initial *View, rto time.Duration, window int, ev *events) *RelComm {
+func newRelComm(self transport.NodeID, initial *View, rto time.Duration, window int, ev *events) *RelComm {
 	rc := &RelComm{
 		mp:      core.NewMicroprotocol("relcomm"),
 		self:    self,
 		rto:     rto,
 		window:  window,
 		ev:      ev,
-		nextSeq: make(map[simnet.NodeID]uint64),
-		pending: make(map[simnet.NodeID]map[uint64]*pendingSend),
-		queued:  make(map[simnet.NodeID][][]byte),
-		seen:    make(map[simnet.NodeID]*dedupe.Seq),
+		nextSeq: make(map[transport.NodeID]uint64),
+		pending: make(map[transport.NodeID]map[uint64]*pendingSend),
+		queued:  make(map[transport.NodeID][][]byte),
+		seen:    make(map[transport.NodeID]*dedupe.Seq),
 	}
 	rc.view.Store(initial)
 	rc.hSend = rc.mp.AddHandler("send", rc.send)
@@ -103,7 +103,7 @@ func (rc *RelComm) send(ctx *core.Context, msg core.Message) error {
 
 // transmit assigns a sequence number, buffers for retransmission, and
 // hands the datagram to NetOut.
-func (rc *RelComm) transmit(ctx *core.Context, to simnet.NodeID, inner []byte) error {
+func (rc *RelComm) transmit(ctx *core.Context, to transport.NodeID, inner []byte) error {
 	rc.nextSeq[to]++
 	seq := rc.nextSeq[to]
 	p := rc.pending[to]
@@ -116,7 +116,7 @@ func (rc *RelComm) transmit(ctx *core.Context, to simnet.NodeID, inner []byte) e
 }
 
 // drainQueue sends queued messages while the peer's window has space.
-func (rc *RelComm) drainQueue(ctx *core.Context, to simnet.NodeID) error {
+func (rc *RelComm) drainQueue(ctx *core.Context, to transport.NodeID) error {
 	for len(rc.queued[to]) > 0 && (rc.window <= 0 || len(rc.pending[to]) < rc.window) {
 		inner := rc.queued[to][0]
 		rc.queued[to] = rc.queued[to][1:]
@@ -138,7 +138,7 @@ func (rc *RelComm) drainQueue(ctx *core.Context, to simnet.NodeID) error {
 // deduplicated and — if the sender is in the current view — handed upward
 // via FromRComm; acks clear the retransmission buffer.
 func (rc *RelComm) recv(ctx *core.Context, msg core.Message) error {
-	d := msg.(simnet.Datagram)
+	d := msg.(transport.Datagram)
 	r := wire.NewReader(d.Payload)
 	switch kind := r.U8(); kind {
 	case dgData:
@@ -215,7 +215,7 @@ func (rc *RelComm) viewChange(_ *core.Context, msg core.Message) error {
 }
 
 // Queued reports messages waiting for window space to the peer (tests).
-func (rc *RelComm) Queued(to simnet.NodeID) int { return len(rc.queued[to]) }
+func (rc *RelComm) Queued(to transport.NodeID) int { return len(rc.queued[to]) }
 
 // DroppedStale reports sends dropped by the view filter (E6 observable).
 func (rc *RelComm) DroppedStale() uint64 { return rc.droppedStale.Load() }

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // SpecKind selects how a Site declares its computations' specs — i.e.
@@ -25,8 +25,8 @@ const (
 // Config describes one Site.
 type Config struct {
 	// Net and ID place the site on a simulated network node.
-	Net *simnet.Network
-	ID  simnet.NodeID
+	Net transport.Transport
+	ID  transport.NodeID
 	// InitialView is the starting group view (must include ID).
 	InitialView *View
 	// Controller schedules the site's computations; default
@@ -46,10 +46,10 @@ type Config struct {
 	// OnViewChange observes view installations. All run inside
 	// computations: they must be quick and must not call Site methods
 	// synchronously.
-	Deliver      func(from simnet.NodeID, data []byte)
-	RDeliver     func(from simnet.NodeID, data []byte)
-	FDeliver     func(from simnet.NodeID, data []byte)
-	CDeliver     func(from simnet.NodeID, data []byte)
+	Deliver      func(from transport.NodeID, data []byte)
+	RDeliver     func(from transport.NodeID, data []byte)
+	FDeliver     func(from transport.NodeID, data []byte)
+	CDeliver     func(from transport.NodeID, data []byte)
 	OnViewChange func(v *View)
 	// RTO is the retransmission timeout (default 50ms); retransmission
 	// scans run at RTO/2.
@@ -94,7 +94,7 @@ type Site struct {
 	cfg   Config
 	ev    *events
 	stack *core.Stack
-	node  *simnet.Node
+	node  transport.Endpoint
 
 	netout  *NetOut
 	relcomm *RelComm
@@ -154,7 +154,7 @@ func NewSite(cfg Config) *Site {
 	s := &Site{
 		cfg:  cfg,
 		ev:   newEvents(),
-		node: cfg.Net.Node(cfg.ID),
+		node: cfg.Net.Endpoint(cfg.ID),
 		quit: make(chan struct{}),
 		sem:  make(chan struct{}, cfg.PumpWorkers),
 	}
@@ -331,7 +331,18 @@ func (s *Site) pump() {
 	for {
 		d, ok := s.node.Recv()
 		if !ok {
-			return
+			// The node's current incarnation crashed or the transport
+			// closed. A transport-level Restart installs a fresh
+			// incarnation that the same Endpoint reads from, so keep
+			// the pump alive until the site itself stops — the stack
+			// survives the network blinking (crash-recovery model) and
+			// RelComm's retransmission refills what the outage lost.
+			select {
+			case <-s.quit:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			continue
 		}
 		if len(d.Payload) == 0 {
 			continue
@@ -352,7 +363,7 @@ func (s *Site) pump() {
 			return
 		}
 		s.wg.Add(1)
-		go func(d simnet.Datagram) {
+		go func(d transport.Datagram) {
 			defer s.wg.Done()
 			defer func() { <-s.sem }()
 			s.record(s.stack.External(spec, et, d))
@@ -407,7 +418,7 @@ func (s *Site) Errs() []error {
 }
 
 // ID reports the site's node ID.
-func (s *Site) ID() simnet.NodeID { return s.cfg.ID }
+func (s *Site) ID() transport.NodeID { return s.cfg.ID }
 
 // View returns the site's current view (as installed at RelComm).
 func (s *Site) View() *View { return s.relcomm.view.Load() }
@@ -442,33 +453,33 @@ func (s *Site) CBcast(data []byte) error {
 
 // Join proposes adding a site to the view (totally ordered, so every
 // member installs the same view sequence).
-func (s *Site) Join(id simnet.NodeID) error {
+func (s *Site) Join(id transport.NodeID) error {
 	return s.stack.External(s.specs.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '+', site: id})
 }
 
 // Leave proposes removing a site from the view.
-func (s *Site) Leave(id simnet.NodeID) error {
+func (s *Site) Leave(id transport.NodeID) error {
 	return s.stack.External(s.specs.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '-', site: id})
 }
 
 // InjectViewChange runs a local view-delivery computation, as if
 // Membership had just delivered [op site] — the E6 entry point for
 // reproducing the §3 race without the full join choreography.
-func (s *Site) InjectViewChange(op byte, site simnet.NodeID) error {
+func (s *Site) InjectViewChange(op byte, site transport.NodeID) error {
 	m := CastMsg{ID: MsgID{Origin: s.cfg.ID, Seq: ^uint64(0)}, Kind: castViewChg, Op: op, Site: site}
 	return s.stack.ExternalAll(s.specs.inject, s.ev.ADeliver, m)
 }
 
 // InjectDatagram feeds a raw datagram into the stack as if it had arrived
 // from the network, running it as a FromNet computation (test helper).
-func (s *Site) InjectDatagram(d simnet.Datagram) error {
+func (s *Site) InjectDatagram(d transport.Datagram) error {
 	return s.stack.External(s.specs.fromnet, s.ev.FromNet, d)
 }
 
 // BuildCastDatagram builds the raw datagram a RelComm at `from` would have
 // emitted to carry a plain reliable broadcast — the E6 experiments use it
 // to inject "the message from the crashed origin" (paper §3 Problem).
-func BuildCastDatagram(from simnet.NodeID, rcSeq uint64, id MsgID, data []byte) simnet.Datagram {
+func BuildCastDatagram(from transport.NodeID, rcSeq uint64, id MsgID, data []byte) transport.Datagram {
 	frame := encodeCastFrame(&CastMsg{ID: id, Kind: castRApp, Data: data})
-	return simnet.Datagram{From: from, Payload: encodeData(rcSeq, frame)}
+	return transport.Datagram{From: from, Payload: encodeData(rcSeq, frame)}
 }

@@ -5,49 +5,49 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // View is a group view: the current set of sites considered non-faulty
 // (paper §3). Views are immutable; operations return new views.
 type View struct {
-	members []simnet.NodeID // sorted
+	members []transport.NodeID // sorted
 }
 
 // NewView builds a view from the given members.
-func NewView(members ...simnet.NodeID) *View {
-	v := &View{members: append([]simnet.NodeID(nil), members...)}
+func NewView(members ...transport.NodeID) *View {
+	v := &View{members: append([]transport.NodeID(nil), members...)}
 	sort.Slice(v.members, func(i, j int) bool { return v.members[i] < v.members[j] })
 	return v
 }
 
 // Members returns the members in ascending order. The slice must not be
 // modified.
-func (v *View) Members() []simnet.NodeID { return v.members }
+func (v *View) Members() []transport.NodeID { return v.members }
 
 // Size reports the number of members.
 func (v *View) Size() int { return len(v.members) }
 
 // Contains reports membership of the site.
-func (v *View) Contains(id simnet.NodeID) bool {
+func (v *View) Contains(id transport.NodeID) bool {
 	i := sort.Search(len(v.members), func(i int) bool { return v.members[i] >= id })
 	return i < len(v.members) && v.members[i] == id
 }
 
 // Add returns a view with the site added (no-op if present).
-func (v *View) Add(id simnet.NodeID) *View {
+func (v *View) Add(id transport.NodeID) *View {
 	if v.Contains(id) {
 		return v
 	}
-	return NewView(append(append([]simnet.NodeID(nil), v.members...), id)...)
+	return NewView(append(append([]transport.NodeID(nil), v.members...), id)...)
 }
 
 // Remove returns a view with the site removed (no-op if absent).
-func (v *View) Remove(id simnet.NodeID) *View {
+func (v *View) Remove(id transport.NodeID) *View {
 	if !v.Contains(id) {
 		return v
 	}
-	out := make([]simnet.NodeID, 0, len(v.members)-1)
+	out := make([]transport.NodeID, 0, len(v.members)-1)
 	for _, m := range v.members {
 		if m != id {
 			out = append(out, m)
@@ -57,7 +57,7 @@ func (v *View) Remove(id simnet.NodeID) *View {
 }
 
 // Apply performs the paper's "view op site" with op ∈ {+,-}.
-func (v *View) Apply(op byte, id simnet.NodeID) *View {
+func (v *View) Apply(op byte, id transport.NodeID) *View {
 	if op == '-' {
 		return v.Remove(id)
 	}
@@ -69,7 +69,7 @@ func (v *View) Quorum() int { return len(v.members)/2 + 1 }
 
 // Coordinator returns the rotating coordinator for a consensus instance
 // and round (paper: the distributed consensus microprotocol).
-func (v *View) Coordinator(inst uint64, round uint32) simnet.NodeID {
+func (v *View) Coordinator(inst uint64, round uint32) transport.NodeID {
 	n := uint64(len(v.members))
 	return v.members[(inst+uint64(round))%n]
 }

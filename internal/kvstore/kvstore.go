@@ -22,7 +22,7 @@ import (
 	"time"
 
 	"repro/internal/gc"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -36,8 +36,8 @@ const (
 // Config describes one replica.
 type Config struct {
 	// Net, ID, InitialView place the replica in the group (see gc.Config).
-	Net         *simnet.Network
-	ID          simnet.NodeID
+	Net         transport.Transport
+	ID          transport.NodeID
 	InitialView *gc.View
 	// OpTimeout bounds how long a write waits for its own apply
 	// (default 10s); it fires when the group has lost its quorum.
@@ -50,7 +50,7 @@ type Config struct {
 // Store is one replica of the replicated map.
 type Store struct {
 	site    *gc.Site
-	self    simnet.NodeID
+	self    transport.NodeID
 	timeout time.Duration
 
 	mu      sync.RWMutex
@@ -96,7 +96,7 @@ func (s *Store) Errs() []error { return s.site.Errs() }
 func (s *Store) Site() *gc.Site { return s.site }
 
 // encodeOp builds the broadcast payload for an operation.
-func encodeOp(kind uint8, origin simnet.NodeID, seq uint64, key, val, old string) []byte {
+func encodeOp(kind uint8, origin transport.NodeID, seq uint64, key, val, old string) []byte {
 	w := wire.NewWriter(32 + len(key) + len(val) + len(old))
 	w.U8(kind)
 	w.U16(uint16(origin))
@@ -109,10 +109,10 @@ func encodeOp(kind uint8, origin simnet.NodeID, seq uint64, key, val, old string
 
 // apply is the replicated state machine: it runs inside the delivery
 // computation, in the same total order on every replica.
-func (s *Store) apply(_ simnet.NodeID, payload []byte) {
+func (s *Store) apply(_ transport.NodeID, payload []byte) {
 	r := wire.NewReader(payload)
 	kind := r.U8()
-	origin := simnet.NodeID(r.U16())
+	origin := transport.NodeID(r.U16())
 	seq := r.U64()
 	key := r.String()
 	val := r.String()

@@ -1,0 +1,229 @@
+package kvstore_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/kvstore"
+	"repro/internal/transport"
+	"repro/internal/transport/udpnet"
+)
+
+// requireLoopbackUDP skips socket tests in environments without a
+// usable loopback UDP stack (some sandboxes forbid it).
+func requireLoopbackUDP(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+// udpCluster is the real-socket kvstore fixture: n replicas, each on its
+// own udpnet transport bound to a kernel-assigned loopback port — the
+// n-process deployment shape, in-process so the test can crash and
+// restart transports deterministically.
+type udpCluster struct {
+	nets   []*udpnet.Net
+	stores []*kvstore.Store
+}
+
+func newUDPCluster(t *testing.T, n int) *udpCluster {
+	t.Helper()
+	nets, err := udpnet.NewCluster(n)
+	if err != nil {
+		t.Fatalf("udpnet.NewCluster: %v", err)
+	}
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	view := gc.NewView(ids...)
+	c := &udpCluster{nets: nets}
+	for i := 0; i < n; i++ {
+		// The failure detector stays on: consensus instances whose
+		// rotating coordinator is a crashed node advance past it only on
+		// suspicion, and the crash/restart test needs exactly that.
+		s := kvstore.New(kvstore.Config{
+			Net: nets[i], ID: transport.NodeID(i), InitialView: view,
+			OpTimeout: 30 * time.Second,
+			Site:      gc.Config{FDInterval: 10 * time.Millisecond, RTO: 15 * time.Millisecond},
+		})
+		s.Start()
+		c.stores = append(c.stores, s)
+	}
+	t.Cleanup(func() { c.stopAndCheck(t) })
+	return c
+}
+
+// stopAndCheck is the leak check (mirroring internal/chaos's drain-
+// balance verification): Site.Stop closes the stack, which verifies
+// begun == ended computation lifecycle — any wedged or leaked
+// computation surfaces as a *core.LifecycleError in Errs.
+func (c *udpCluster) stopAndCheck(t *testing.T) {
+	for i, s := range c.stores {
+		s.Stop()
+		for _, err := range s.Errs() {
+			t.Errorf("replica %d: %v", i, err)
+		}
+	}
+	for _, n := range c.nets {
+		n.Close()
+	}
+}
+
+// waitConverged polls until every replica reports value for key.
+func (c *udpCluster) waitConverged(t *testing.T, d time.Duration, key, want string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		all := true
+		for _, s := range c.stores {
+			if got, _ := s.Get(key); got != want {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, s := range c.stores {
+				got, _ := s.Get(key)
+				t.Logf("replica %d: %s=%q", i, key, got)
+			}
+			t.Fatalf("replicas did not converge on %s=%q within %v", key, want, d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUDPClusterConvergence drives concurrent writers through a 3-node
+// kvstore over real loopback sockets: every replica applies the same
+// total order, so they converge; CAS races resolve identically
+// everywhere.
+func TestUDPClusterConvergence(t *testing.T) {
+	requireLoopbackUDP(t)
+	c := newUDPCluster(t, 3)
+
+	const perReplica = 20
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.stores))
+	for i, s := range c.stores {
+		wg.Add(1)
+		go func(i int, s *kvstore.Store) {
+			defer wg.Done()
+			for k := 0; k < perReplica; k++ {
+				if err := s.Put(fmt.Sprintf("r%d-k%d", i, k), fmt.Sprint(k)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("replica %d writer: %v", i, err)
+		}
+	}
+	if err := c.stores[0].Put("done", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged(t, 30*time.Second, "done", "yes")
+
+	want := c.stores[0].SnapshotMap()
+	if len(want) != 3*perReplica+1 {
+		t.Fatalf("replica 0 holds %d keys; want %d", len(want), 3*perReplica+1)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 1; i < len(c.stores); i++ {
+		for {
+			got := c.stores[i].SnapshotMap()
+			if len(got) == len(want) {
+				for k, v := range want {
+					if got[k] != v {
+						t.Fatalf("replica %d diverged at %q: %q vs %q", i, k, got[k], v)
+					}
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d holds %d keys; want %d", i, len(got), len(want))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestUDPClusterCrashRestartRecovers is the crash/restart integration
+// test over real sockets, mirroring simnet.Restart semantics: the
+// crashed node's socket closes (in-flight datagrams to it are lost,
+// exactly as a rebooting process loses its kernel buffers), the
+// restarted incarnation starts with an empty inbox on the same address,
+// and RelComm's ARQ retransmission refills what the outage lost until
+// every replica converges. The majority keeps deciding during the
+// outage, so writes from live replicas complete throughout.
+//
+// Wedge/leak checks follow internal/chaos's discipline: the wedge probe
+// is a full-footprint operation (a replicated Put) on every survivor —
+// and, after restart, on the revived node — that must complete within a
+// deadline; the leak check is the drain-balance verification Site.Stop
+// performs on every stack at cleanup (stopAndCheck).
+func TestUDPClusterCrashRestartRecovers(t *testing.T) {
+	requireLoopbackUDP(t)
+	c := newUDPCluster(t, 3)
+
+	if err := c.stores[0].Put("before", "outage"); err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged(t, 30*time.Second, "before", "outage")
+
+	// Take node 2's transport down. Its site keeps running — only the
+	// network blinks, as when a NIC or switch port dies.
+	c.nets[2].Crash(2)
+	if !c.nets[2].Crashed(2) {
+		t.Fatal("node 2 not crashed")
+	}
+
+	// The live majority still decides: writes from replicas 0 and 1
+	// complete during the outage (wedge probe on the survivors).
+	for i := 0; i < 2; i++ {
+		if err := c.stores[i].Put(fmt.Sprintf("during-%d", i), "kept"); err != nil {
+			t.Fatalf("replica %d wedged during outage: %v", i, err)
+		}
+	}
+	if got, _ := c.stores[2].Get("during-0"); got == "kept" {
+		t.Fatal("crashed node applied an operation broadcast during its outage")
+	}
+
+	if !c.nets[2].Restart(2) {
+		t.Fatal("Restart refused")
+	}
+	// ARQ recovery: RelComm retransmits everything node 2 missed — the
+	// in-flight datagrams lost to the outage — until it catches up.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		a, _ := c.stores[2].Get("during-0")
+		b, _ := c.stores[2].Get("during-1")
+		if a == "kept" && b == "kept" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica never caught up: during-0=%q during-1=%q", a, b)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Wedge probe on the revived node: a full replicated write from the
+	// restarted replica itself must complete.
+	if err := c.stores[2].Put("after", "restart"); err != nil {
+		t.Fatalf("revived replica wedged: %v", err)
+	}
+	c.waitConverged(t, 30*time.Second, "after", "restart")
+}

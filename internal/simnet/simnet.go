@@ -8,6 +8,12 @@
 // suspicion), crashes, restarts and partitions (to exercise membership
 // and recovery) — are all configurable, and the random choices come from
 // a seeded generator so runs are reproducible.
+//
+// simnet is the deterministic-test backend of the transport seam: it
+// implements transport.Transport (every node hosted in-process) and
+// transport.Partitioner, and is held to the shared behavioral contract
+// by internal/transport/conformance. The production backend over real
+// sockets is internal/transport/udpnet.
 package simnet
 
 import (
@@ -16,10 +22,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // NodeID identifies a node; IDs are 0..Nodes-1.
-type NodeID int
+type NodeID = transport.NodeID
 
 // Config describes a network.
 type Config struct {
@@ -42,22 +50,10 @@ type Config struct {
 }
 
 // Stats counts network activity. All fields are monotonic.
-type Stats struct {
-	Sent             uint64
-	Delivered        uint64
-	Corrupted        uint64
-	DroppedLoss      uint64
-	DroppedPartition uint64
-	DroppedCrashed   uint64
-	DroppedOverflow  uint64
-	Recovered        uint64
-}
+type Stats = transport.Stats
 
 // Datagram is one unreliable message.
-type Datagram struct {
-	From, To NodeID
-	Payload  []byte
-}
+type Datagram = transport.Datagram
 
 // Network is a simulated network of Nodes. Safe for concurrent use.
 type Network struct {
@@ -134,6 +130,17 @@ func (n *Network) Node(id NodeID) *Node {
 	}
 	return n.nodes[id]
 }
+
+// Endpoint returns the node as a transport.Endpoint (the simulator hosts
+// every node). It panics on an out-of-range ID.
+func (n *Network) Endpoint(id NodeID) transport.Endpoint { return n.Node(id) }
+
+// Compile-time checks: simnet is a full transport backend.
+var (
+	_ transport.Transport   = (*Network)(nil)
+	_ transport.Partitioner = (*Network)(nil)
+	_ transport.Endpoint    = (*Node)(nil)
+)
 
 // Send transmits payload from one node to another, subject to loss, delay,
 // partitions and crashes. Payload bytes are copied, so the caller may

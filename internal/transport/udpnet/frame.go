@@ -1,0 +1,93 @@
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Frame layout (little-endian, wire codec):
+//
+//	u16 magic | u8 version | u16 from | u16 to | uvarint len | payload | u32 crc
+//
+// The CRC (Castagnoli) covers everything before it — header included, so
+// a flipped address byte is rejected just like a flipped payload byte and
+// a datagram can never be mis-delivered to the wrong node silently. Any
+// single-byte corruption is within CRC-32's guaranteed burst-detection
+// length, so a lone bit- or byte-flip on the wire is always caught.
+const (
+	frameMagic   = 0x5A0A // "SAMOA" datagram
+	frameVersion = 1
+
+	// headerSize is the fixed part before the payload length prefix;
+	// crcSize trails the frame.
+	headerSize = 7
+	crcSize    = 4
+
+	// MaxPayload bounds one datagram's payload so an encoded frame
+	// always fits a 64 KiB UDP datagram with header room to spare.
+	MaxPayload = 63 << 10
+)
+
+// Frame decoding errors.
+var (
+	ErrFrameTruncated = errors.New("udpnet: truncated frame")
+	ErrFrameChecksum  = errors.New("udpnet: frame checksum mismatch")
+	ErrFrameMagic     = errors.New("udpnet: bad frame magic")
+	ErrFrameVersion   = errors.New("udpnet: unsupported frame version")
+	ErrFrameTrailing  = errors.New("udpnet: trailing bytes after frame")
+	ErrFrameOversize  = errors.New("udpnet: payload exceeds MaxPayload")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame serializes one datagram. The payload is copied into the
+// returned buffer.
+func encodeFrame(from, to transport.NodeID, payload []byte) []byte {
+	w := wire.NewWriter(headerSize + crcSize + 2 + len(payload))
+	w.U16(frameMagic)
+	w.U8(frameVersion)
+	w.U16(uint16(from))
+	w.U16(uint16(to))
+	w.BytesPrefixed(payload)
+	w.U32(crc32.Checksum(w.Bytes(), castagnoli))
+	return w.Bytes()
+}
+
+// decodeFrame parses one datagram. The returned payload aliases b — the
+// caller copies it before b is reused. Truncated, corrupted, oversized
+// or trailing-garbage input returns an error, never a panic or a
+// mis-addressed datagram.
+func decodeFrame(b []byte) (transport.Datagram, error) {
+	if len(b) < headerSize+1+crcSize {
+		return transport.Datagram{}, fmt.Errorf("%w: %d bytes", ErrFrameTruncated, len(b))
+	}
+	body, tail := b[:len(b)-crcSize], b[len(b)-crcSize:]
+	sum := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if crc32.Checksum(body, castagnoli) != sum {
+		return transport.Datagram{}, ErrFrameChecksum
+	}
+	r := wire.NewReader(body)
+	if r.U16() != frameMagic {
+		return transport.Datagram{}, ErrFrameMagic
+	}
+	if v := r.U8(); v != frameVersion {
+		return transport.Datagram{}, fmt.Errorf("%w: %d", ErrFrameVersion, v)
+	}
+	from := transport.NodeID(r.U16())
+	to := transport.NodeID(r.U16())
+	payload := r.BytesPrefixed()
+	if err := r.Err(); err != nil {
+		return transport.Datagram{}, fmt.Errorf("%w: %v", ErrFrameTruncated, err)
+	}
+	if len(payload) > MaxPayload {
+		return transport.Datagram{}, ErrFrameOversize
+	}
+	if r.Remaining() != 0 {
+		return transport.Datagram{}, ErrFrameTrailing
+	}
+	return transport.Datagram{From: from, To: to, Payload: payload}, nil
+}

@@ -1,0 +1,220 @@
+package udpnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// requireLoopbackUDP skips socket tests in environments without a
+// usable loopback UDP stack (some sandboxes forbid it).
+func requireLoopbackUDP(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+func recvDeadline(t *testing.T, ep transport.Endpoint, d time.Duration) transport.Datagram {
+	t.Helper()
+	type res struct {
+		d  transport.Datagram
+		ok bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		dg, ok := ep.Recv()
+		ch <- res{dg, ok}
+	}()
+	select {
+	case r := <-ch:
+		if !r.ok {
+			t.Fatal("Recv reported closure")
+		}
+		return r.d
+	case <-time.After(d):
+		t.Fatalf("no datagram within %v", d)
+		panic("unreachable")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 2000)} {
+		b := encodeFrame(3, 7, payload)
+		d, err := decodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode(encode(%d bytes)): %v", len(payload), err)
+		}
+		if d.From != 3 || d.To != 7 || !bytes.Equal(d.Payload, payload) {
+			t.Fatalf("round trip mangled %d-byte payload: %+v", len(payload), d)
+		}
+	}
+}
+
+// TestFrameSingleByteFlipsRejected: any single-byte corruption anywhere
+// in a frame — header, length, payload or CRC — is rejected, never
+// mis-delivered. Single-byte errors are within CRC-32's guaranteed
+// detection length, so this is exhaustive, not probabilistic.
+func TestFrameSingleByteFlipsRejected(t *testing.T) {
+	frame := encodeFrame(1, 2, []byte("the payload under test"))
+	for i := range frame {
+		for _, flip := range []byte{0x01, 0x55, 0xFF} {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= flip
+			if d, err := decodeFrame(mut); err == nil {
+				t.Fatalf("byte %d ^ %#x accepted: %+v", i, flip, d)
+			}
+		}
+	}
+}
+
+func TestFrameRejectsTruncatedAndTrailing(t *testing.T) {
+	frame := encodeFrame(0, 1, []byte("hello"))
+	for n := 0; n < len(frame); n++ {
+		if _, err := decodeFrame(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := decodeFrame(append(append([]byte(nil), frame...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestOversizeSendDropped: a payload over MaxPayload is counted and
+// dropped, never split or truncated onto the wire.
+func TestOversizeSendDropped(t *testing.T) {
+	requireLoopbackUDP(t)
+	n, err := New(Config{Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Endpoint(0).Send(1, make([]byte, MaxPayload+1))
+	if got := n.Stats().DroppedOversize; got != 1 {
+		t.Fatalf("DroppedOversize = %d; want 1", got)
+	}
+	if _, ok := n.Endpoint(1).TryRecv(); ok {
+		t.Fatal("oversized datagram was delivered")
+	}
+}
+
+// TestGarbageAndMisaddressedFramesDropped: raw socket writes that are
+// not valid frames — or valid frames addressed to a different node —
+// are counted as corrupted and never surface through Recv.
+func TestGarbageAndMisaddressedFramesDropped(t *testing.T) {
+	requireLoopbackUDP(t)
+	n, err := New(Config{Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	raw, err := net.Dial("udp", n.Addr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	payloads := [][]byte{
+		[]byte("not a frame at all"),
+		{},
+		encodeFrame(0, 5, []byte("misaddressed")), // valid frame, wrong To
+	}
+	for _, p := range payloads {
+		if _, err := raw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats().Corrupted < uint64(len(payloads)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("Corrupted = %d; want %d", n.Stats().Corrupted, len(payloads))
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	// A real frame still gets through afterwards.
+	n.Endpoint(0).Send(1, []byte("legit"))
+	if d := recvDeadline(t, n.Endpoint(1), 5*time.Second); string(d.Payload) != "legit" {
+		t.Fatalf("got %q; want legit", d.Payload)
+	}
+}
+
+// TestClusterCrossProcessShape: NewCluster's per-node transports — the
+// N-process deployment shape — exchange datagrams through real sockets,
+// and remote nodes are correctly un-hosted.
+func TestClusterCrossProcessShape(t *testing.T) {
+	requireLoopbackUDP(t)
+	nets, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nets {
+			n.Close()
+		}
+	}()
+	nets[0].Endpoint(0).Send(2, []byte("zero to two"))
+	if d := recvDeadline(t, nets[2].Endpoint(2), 5*time.Second); string(d.Payload) != "zero to two" || d.From != 0 {
+		t.Fatalf("got %+v", d)
+	}
+	// Remote nodes: Endpoint panics, Crash is a no-op, Crashed false,
+	// Restart refuses.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Endpoint(1) on a transport hosting only node 0 did not panic")
+			}
+		}()
+		nets[0].Endpoint(1)
+	}()
+	nets[0].Crash(1)
+	if nets[0].Crashed(1) {
+		t.Error("Crash of a remote node took effect locally")
+	}
+	if nets[0].Restart(1) {
+		t.Error("Restart of a remote node succeeded")
+	}
+	// Crashing node 1 in its own process is invisible to net 0's
+	// liveness view, exactly like a real remote crash.
+	nets[1].Crash(1)
+	if nets[0].Crashed(1) {
+		t.Error("remote crash visible locally")
+	}
+}
+
+// TestRestartAcrossTransports mirrors simnet.Restart semantics in the
+// multi-process shape: datagrams sent by another process during the
+// outage are lost, the restarted incarnation starts empty on the same
+// address, and new traffic flows.
+func TestRestartAcrossTransports(t *testing.T) {
+	requireLoopbackUDP(t)
+	nets, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nets {
+			n.Close()
+		}
+	}()
+	addr := nets[1].Addr(1)
+
+	nets[1].Crash(1)
+	nets[0].Endpoint(0).Send(1, []byte("during outage"))
+	if !nets[1].Restart(1) {
+		t.Fatal("Restart refused")
+	}
+	if got := nets[1].Addr(1); got != addr {
+		t.Fatalf("restart moved the node: %s → %s", addr, got)
+	}
+	nets[0].Endpoint(0).Send(1, []byte("after restart"))
+	if d := recvDeadline(t, nets[1].Endpoint(1), 5*time.Second); string(d.Payload) != "after restart" {
+		t.Fatalf("restarted node surfaced %q; outage traffic must stay lost", d.Payload)
+	}
+	if extra, ok := nets[1].Endpoint(1).TryRecv(); ok {
+		t.Fatalf("unexpected extra datagram %q", extra.Payload)
+	}
+}
