@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet samoa-vet test race race-contend socket-tests node-demo bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep examples clean
+.PHONY: all build vet samoa-vet test race race-contend socket-tests node-demo bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep chaos-net chaos-net-deep examples clean
 
 all: build vet samoa-vet test
 
@@ -103,6 +103,20 @@ chaos:
 
 chaos-deep:
 	CHAOS_DEEP=1 $(GO) test ./internal/chaos -run TestChaos -count=1 -v -timeout 30m
+
+# Distributed chaos (internal/chaos dchaos, DESIGN.md §13): seeded storms
+# of transport crash/restarts, majority-preserving partitions and message
+# chaos over 5-site replicated clusters, on the deterministic simulator
+# AND real UDP sockets, checked against distributed invariants (post-heal
+# convergence, no acked-write loss, no split-brain, wedge probes, clean
+# drain). `chaos-net` is the per-push smoke run (3 seeds per backend);
+# `chaos-net-deep` sweeps the 20-seed acceptance battery under -race.
+# Reproduce one failure with CHAOS_SEED=<n> make chaos-net.
+chaos-net:
+	$(GO) test ./internal/chaos -run TestDistributedStorm -count=1 -v
+
+chaos-net-deep:
+	CHAOS_DEEP=1 $(GO) test -race ./internal/chaos -run TestDistributedStorm -count=1 -v -timeout 30m
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -32,11 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -54,19 +56,40 @@ func main() {
 	connFD := flag.Int("conn-fd", -1, "inherited file descriptor to use as the local UDP socket (for harnesses that pre-bind port-0 sockets)")
 	rto := flag.Duration("rto", 15*time.Millisecond, "retransmission timeout")
 	fdInterval := flag.Duration("fd-interval", 25*time.Millisecond, "failure-detector heartbeat period")
+	joinVia := flag.String("join-via", "", "HTTP address of a live member to request admission from at startup (crash-rejoin); empty for initial cluster boot")
 	server := flag.String("server", "", "client mode: HTTP address of a running node; followed by get|put|del|cas|stats and arguments")
 	flag.Parse()
 
 	if *server != "" {
 		os.Exit(runClient(*server, flag.Args()))
 	}
-	if err := runNode(*id, *peers, *httpAddr, *connFD, *rto, *fdInterval); err != nil {
+	if err := runNode(*id, *peers, *httpAddr, *connFD, *rto, *fdInterval, *joinVia); err != nil {
 		fmt.Fprintf(os.Stderr, "samoa-node: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runNode(id int, peers, httpAddr string, connFD int, rto, fdInterval time.Duration) error {
+// backoff sleeps for attempt's capped exponential delay with ±50%
+// jitter, so colliding retriers (several clients, a rejoining node)
+// spread out instead of thundering together.
+func backoff(attempt int) {
+	d := 50 * time.Millisecond << uint(attempt)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	time.Sleep(d)
+}
+
+// retriable reports whether an HTTP outcome is worth retrying: network
+// errors and 5xx responses are transient (a 503 means the replica could
+// not currently replicate — e.g. quorum loss — which heals); 4xx is an
+// answer, not a fault.
+func retriable(code int, err error) bool {
+	return err != nil || code >= 500
+}
+
+func runNode(id int, peers, httpAddr string, connFD int, rto, fdInterval time.Duration, joinVia string) error {
 	if peers == "" {
 		return fmt.Errorf("-peers required (comma-separated UDP addresses)")
 	}
@@ -118,6 +141,9 @@ func runNode(id int, peers, httpAddr string, connFD int, rto, fdInterval time.Du
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if joinVia != "" {
+		go requestAdmission(joinVia, id)
+	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -133,6 +159,36 @@ func runNode(id int, peers, httpAddr string, connFD int, rto, fdInterval time.Du
 		return fmt.Errorf("replica error: %w", err)
 	}
 	return nil
+}
+
+// requestAdmission asks a live member to Join this node back into the
+// group, retrying with backoff until the member acknowledges: the
+// crash-rejoin entry point. The snapshot-bearing sync then flows over
+// UDP once the '+' view change is delivered.
+func requestAdmission(via string, id int) {
+	base := via
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		resp, err := client.Post(fmt.Sprintf("%s/join/%d", base, id), "", nil)
+		code := 0
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			code = resp.StatusCode
+		}
+		if err == nil && code < 300 {
+			return
+		}
+		if !retriable(code, err) {
+			fmt.Fprintf(os.Stderr, "samoa-node: join via %s refused: HTTP %d\n", via, code)
+			return
+		}
+		backoff(attempt)
+	}
+	fmt.Fprintf(os.Stderr, "samoa-node: join via %s never succeeded\n", via)
 }
 
 // api is the node's HTTP surface: reads are local, writes ride the
@@ -175,13 +231,42 @@ func api(store *kvstore.Store, tr *udpnet.Net, id int) http.Handler {
 		}
 		fmt.Fprintf(w, "%v", ok)
 	})
+	// Membership surface: a member relays Join/Leave into the total
+	// order on behalf of the target (rejoining nodes call /join via
+	// -join-via; operators remove dead nodes via /leave).
+	memberOp := func(op func(transport.NodeID) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			target, err := strconv.Atoi(r.PathValue("id"))
+			if err != nil || target < 0 || target >= tr.Size() {
+				http.Error(w, "bad node id", http.StatusBadRequest)
+				return
+			}
+			if err := op(transport.NodeID(target)); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}
+	mux.HandleFunc("POST /join/{id}", memberOp(store.Site().Join))
+	mux.HandleFunc("POST /leave/{id}", memberOp(store.Site().Leave))
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		stats := tr.Stats()
 		json.NewEncoder(w).Encode(map[string]any{
-			"id":        id,
-			"applied":   store.Applied(),
-			"keys":      store.Len(),
-			"transport": tr.Stats(),
+			"id":      id,
+			"applied": store.Applied(),
+			"keys":    store.Len(),
+			"view":    store.Site().View().String(),
+			"faults": map[string]uint64{
+				"dropped_loss":      stats.DroppedLoss,
+				"dropped_crashed":   stats.DroppedCrashed,
+				"dropped_partition": stats.DroppedPartition,
+				"corrupted":         stats.Corrupted,
+				"send_errors":       stats.SendErrors,
+				"recovered":         stats.Recovered,
+			},
+			"transport": stats,
 		})
 	})
 	return mux
@@ -201,18 +286,42 @@ func runClient(server string, args []string) int {
 		base = "http://" + base
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	do := func(req *http.Request) (string, int, error) {
-		resp, err := client.Do(req)
-		if err != nil {
-			return "", 0, err
+	// do issues the request built by mk, retrying transient failures
+	// (network errors, 5xx) with capped exponential backoff + jitter.
+	// attempts == 1 disables retry — required for non-idempotent ops.
+	do := func(attempts int, mk func() (*http.Request, error)) (string, int, error) {
+		var (
+			body string
+			code int
+			err  error
+		)
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				backoff(attempt - 1)
+			}
+			var req *http.Request
+			if req, err = mk(); err != nil {
+				return "", 0, err
+			}
+			var resp *http.Response
+			if resp, err = client.Do(req); err != nil {
+				code = 0
+				continue
+			}
+			var raw []byte
+			raw, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body, code = string(raw), resp.StatusCode
+			if err == nil && !retriable(code, nil) {
+				return body, code, nil
+			}
 		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
-		return string(body), resp.StatusCode, err
+		return body, code, err
 	}
-	newReq := func(method, path string) (*http.Request, error) {
-		return http.NewRequest(method, base+path, nil)
+	simple := func(method, path string) func() (*http.Request, error) {
+		return func() (*http.Request, error) { return http.NewRequest(method, base+path, nil) }
 	}
+	const retries = 5
 
 	cmd, args := args[0], args[1:]
 	switch cmd {
@@ -220,8 +329,7 @@ func runClient(server string, args []string) int {
 		if len(args) != 1 {
 			return fail("usage: get <key>")
 		}
-		req, _ := newReq("GET", "/kv/"+url.PathEscape(args[0]))
-		body, code, err := do(req)
+		body, code, err := do(retries, simple("GET", "/kv/"+url.PathEscape(args[0])))
 		if err != nil {
 			return fail("%v", err)
 		}
@@ -233,32 +341,35 @@ func runClient(server string, args []string) int {
 		if len(args) != 2 {
 			return fail("usage: put <key> <value>")
 		}
-		req, _ := http.NewRequest("PUT", base+"/kv/"+url.PathEscape(args[0]), strings.NewReader(args[1]))
-		if body, code, err := do(req); err != nil || code >= 300 {
+		// Put is idempotent (same key, same value), so retry is safe.
+		key, val := args[0], args[1]
+		body, code, err := do(retries, func() (*http.Request, error) {
+			return http.NewRequest("PUT", base+"/kv/"+url.PathEscape(key), strings.NewReader(val))
+		})
+		if err != nil || code >= 300 {
 			return fail("put failed: %v %s (code %d)", err, body, code)
 		}
 	case "del":
 		if len(args) != 1 {
 			return fail("usage: del <key>")
 		}
-		req, _ := newReq("DELETE", "/kv/"+url.PathEscape(args[0]))
-		if body, code, err := do(req); err != nil || code >= 300 {
+		if body, code, err := do(retries, simple("DELETE", "/kv/"+url.PathEscape(args[0]))); err != nil || code >= 300 {
 			return fail("del failed: %v %s (code %d)", err, body, code)
 		}
 	case "cas":
 		if len(args) != 3 {
 			return fail("usage: cas <key> <old> <new>")
 		}
+		// No retry: a CAS that already applied would fail its own replay
+		// and report a false conflict.
 		q := url.Values{"old": {args[1]}, "new": {args[2]}}
-		req, _ := newReq("POST", "/cas/"+url.PathEscape(args[0])+"?"+q.Encode())
-		body, code, err := do(req)
+		body, code, err := do(1, simple("POST", "/cas/"+url.PathEscape(args[0])+"?"+q.Encode()))
 		if err != nil || code >= 300 {
 			return fail("cas failed: %v %s (code %d)", err, body, code)
 		}
 		fmt.Println(body)
 	case "stats":
-		req, _ := newReq("GET", "/statusz")
-		body, _, err := do(req)
+		body, _, err := do(retries, simple("GET", "/statusz"))
 		if err != nil {
 			return fail("%v", err)
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -34,6 +35,66 @@ type nodeProc struct {
 	done     chan error
 }
 
+// buildNode compiles the samoa-node binary once per test.
+func buildNode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "samoa-node")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building samoa-node: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startNode launches one samoa-node process and waits for its announce
+// line. extraFile, when non-nil, is passed as fd 3 (-conn-fd 3).
+func startNode(t *testing.T, bin string, args []string, extraFile *os.File) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if extraFile != nil {
+		cmd.ExtraFiles = []*os.File{extraFile}
+	}
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if extraFile != nil {
+		extraFile.Close()
+	}
+	p := &nodeProc{cmd: cmd, done: make(chan error, 1)}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	// The first stdout line announces the node's real addresses.
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		io.Copy(io.Discard, stdout) // keep draining so the child never blocks
+	}()
+	select {
+	case line, ok := <-lines:
+		if !ok {
+			t.Fatalf("node exited before announcing itself (args %v)", args)
+		}
+		var id int
+		var udp, httpAddr string
+		if _, err := fmt.Sscanf(line, "samoa-node id=%d udp=%s http=%s", &id, &udp, &httpAddr); err != nil {
+			t.Fatalf("node announced %q: %v", line, err)
+		}
+		p.httpAddr = httpAddr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("node never announced itself (args %v)", args)
+	}
+	go func() { p.done <- cmd.Wait() }()
+	return p
+}
+
 // TestThreeProcessCluster boots three real samoa-node processes on
 // loopback and drives replicated kvstore traffic end-to-end over their
 // HTTP APIs. Flake hygiene: the test binds every UDP socket itself on
@@ -47,10 +108,7 @@ func TestThreeProcessCluster(t *testing.T) {
 	}
 	requireLoopbackUDP(t)
 
-	bin := filepath.Join(t.TempDir(), "samoa-node")
-	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
-		t.Fatalf("building samoa-node: %v\n%s", err, out)
-	}
+	bin := buildNode(t)
 
 	// Bind the cluster's UDP sockets up front: the full address list
 	// exists before any process starts, with zero port guessing.
@@ -74,52 +132,12 @@ func TestThreeProcessCluster(t *testing.T) {
 			t.Fatal(err)
 		}
 		conns[i].Close() // the child's dup keeps the socket alive
-
-		cmd := exec.Command(bin,
+		procs[i] = startNode(t, bin, []string{
 			"-id", fmt.Sprint(i),
 			"-peers", peerList,
 			"-conn-fd", "3",
 			"-http", "127.0.0.1:0",
-			"-rto", "15ms", "-fd-interval", "10ms")
-		cmd.ExtraFiles = []*os.File{f}
-		cmd.Stderr = os.Stderr
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		f.Close()
-		p := &nodeProc{cmd: cmd, done: make(chan error, 1)}
-		procs[i] = p
-		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
-
-		// The first stdout line announces the node's real addresses.
-		lines := make(chan string, 1)
-		go func() {
-			sc := bufio.NewScanner(stdout)
-			if sc.Scan() {
-				lines <- sc.Text()
-			}
-			close(lines)
-			io.Copy(io.Discard, stdout) // keep draining so the child never blocks
-		}()
-		select {
-		case line, ok := <-lines:
-			if !ok {
-				t.Fatalf("node %d exited before announcing itself", i)
-			}
-			var id int
-			var udp, httpAddr string
-			if _, err := fmt.Sscanf(line, "samoa-node id=%d udp=%s http=%s", &id, &udp, &httpAddr); err != nil {
-				t.Fatalf("node %d announced %q: %v", i, line, err)
-			}
-			p.httpAddr = httpAddr
-		case <-time.After(30 * time.Second):
-			t.Fatalf("node %d never announced itself", i)
-		}
-		go func() { p.done <- cmd.Wait() }()
+			"-rto", "15ms", "-fd-interval", "10ms"}, f)
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -232,6 +250,191 @@ func TestThreeProcessCluster(t *testing.T) {
 			}
 		case <-time.After(30 * time.Second):
 			t.Fatalf("node %d did not exit after SIGINT", i)
+		}
+	}
+}
+
+// TestCrashRejoinProcess is the end-to-end crash-recovery proof over
+// real UDP: a node process is SIGKILLed, the survivors remove it and
+// keep writing, then a *fresh process* (same ID, empty state) rejoins
+// via -join-via and must serve keys written before its crash-window
+// join — state it can only have received through the snapshot handoff.
+func TestCrashRejoinProcess(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("relies on Unix fd inheritance")
+	}
+	requireLoopbackUDP(t)
+	bin := buildNode(t)
+
+	const n = 3
+	conns := make([]*net.UDPConn, n)
+	addrs := make([]string, n)
+	for i := range conns {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = pc.(*net.UDPConn)
+		addrs[i] = pc.LocalAddr().String()
+	}
+	peerList := strings.Join(addrs, ",")
+
+	procs := make([]*nodeProc, n)
+	for i := 0; i < n; i++ {
+		f, err := conns[i].File()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i].Close()
+		procs[i] = startNode(t, bin, []string{
+			"-id", fmt.Sprint(i),
+			"-peers", peerList,
+			"-conn-fd", "3",
+			"-http", "127.0.0.1:0",
+			"-rto", "15ms", "-fd-interval", "10ms"}, f)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	put := func(node int, key, val string) error {
+		req, _ := http.NewRequest("PUT",
+			"http://"+procs[node].httpAddr+"/kv/"+key, strings.NewReader(val))
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("put via node %d: HTTP %d", node, resp.StatusCode)
+		}
+		return nil
+	}
+	get := func(node int, key string) (string, bool) {
+		resp, err := client.Get("http://" + procs[node].httpAddr + "/kv/" + key)
+		if err != nil {
+			return "", false
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", false
+		}
+		return string(body), resp.StatusCode == http.StatusOK
+	}
+	statusView := func(node int) string {
+		resp, err := client.Get("http://" + procs[node].httpAddr + "/statusz")
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		var st struct {
+			View string `json:"view"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return ""
+		}
+		return st.View
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Pre-crash state, replicated everywhere.
+	if err := put(0, "pre-crash", "survives"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("pre-crash key on all replicas", func() bool {
+		for node := 0; node < n; node++ {
+			if v, ok := get(node, "pre-crash"); !ok || v != "survives" {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Kill node 2's process outright and remove it from the group.
+	if err := procs[2].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-procs[2].done
+	resp, err := client.Post("http://"+procs[0].httpAddr+"/leave/2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("leave: HTTP %d", resp.StatusCode)
+	}
+	waitFor("survivors to install {0,1}", func() bool {
+		return statusView(0) == "{0,1}" && statusView(1) == "{0,1}"
+	})
+
+	// A write while node 2 is down: it must reach the rejoiner via the
+	// snapshot, never via delivery.
+	if err := put(1, "while-down", "missed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process, same ID: binds the same UDP address itself (the old
+	// socket died with the process) and asks node 0 for admission.
+	procs[2] = startNode(t, bin, []string{
+		"-id", "2",
+		"-peers", peerList,
+		"-http", "127.0.0.1:0",
+		"-rto", "15ms", "-fd-interval", "10ms",
+		"-join-via", procs[0].httpAddr}, nil)
+
+	waitFor("all nodes to install {0,1,2}", func() bool {
+		for node := 0; node < n; node++ {
+			if statusView(node) != "{0,1,2}" {
+				return false
+			}
+		}
+		return true
+	})
+	// The acceptance check: the restarted process serves keys written
+	// before its join — proof of state transfer over real UDP.
+	waitFor("rejoined node to serve pre-crash state", func() bool {
+		v1, ok1 := get(2, "pre-crash")
+		v2, ok2 := get(2, "while-down")
+		return ok1 && v1 == "survives" && ok2 && v2 == "missed"
+	})
+
+	// And it participates in replication going forward.
+	if err := put(2, "post-rejoin", "live"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("post-rejoin key on all replicas", func() bool {
+		for node := 0; node < n; node++ {
+			if v, ok := get(node, "post-rejoin"); !ok || v != "live" {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Graceful shutdown of the final cluster.
+	for node := 0; node < n; node++ {
+		if err := procs[node].cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for node := 0; node < n; node++ {
+		select {
+		case err := <-procs[node].done:
+			if err != nil {
+				t.Errorf("node %d exited with %v; want clean drain", node, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node %d did not exit after SIGINT", node)
 		}
 	}
 }

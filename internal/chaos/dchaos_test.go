@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// stormSeeds returns the seed battery: CHAOS_SEED pins a single seed
+// (replay), CHAOS_SEEDS sets the count, CHAOS_DEEP=1 runs the full
+// 20-seed acceptance battery, and the default keeps `go test ./...`
+// quick with 3 seeds per backend.
+func stormSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", v, err)
+		}
+		return []int64{seed}
+	}
+	n := 3
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			t.Fatalf("CHAOS_SEEDS=%q: want a positive integer", v)
+		}
+		n = parsed
+	} else if os.Getenv("CHAOS_DEEP") == "1" {
+		n = 20
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(1000 + i)
+	}
+	return seeds
+}
+
+// TestDistributedStorms drives seeded fault storms over both transport
+// substrates: every seed must satisfy every distributed invariant (see
+// DReport.Err) on the deterministic simulator and on real UDP sockets.
+func TestDistributedStorms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed chaos storm")
+	}
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			for _, seed := range stormSeeds(t) {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					rep, err := DRun(DConfig{Backend: backend, Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Log(rep)
+					if err := rep.Err(); err != nil {
+						t.Fatal(err)
+					}
+					if rep.WritesAcked == 0 {
+						t.Fatal("storm acked no writes; the harness exercised nothing")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDistributedStormReplaysDeterministically: the same seed must yield
+// the same fault schedule (crash/partition/heal/rate-flip counts) on the
+// deterministic backend, so failures can be replayed via CHAOS_SEED.
+func TestDistributedStormReplaysDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed chaos storm")
+	}
+	cfg := DConfig{Backend: "simnet", Seed: 424242, Steps: 8, StepPause: 10 * time.Millisecond}
+	a, err := DRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := DRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Crashes != b.Crashes || a.Partitions != b.Partitions || a.Heals != b.Heals || a.RateFlips != b.RateFlips {
+		t.Fatalf("fault schedule diverged across replays:\n  %v\n  %v", a, b)
+	}
+}
+
+// TestDRunRejectsBadConfig pins the config validation edges.
+func TestDRunRejectsBadConfig(t *testing.T) {
+	if _, err := DRun(DConfig{Sites: 2}); err == nil {
+		t.Fatal("2-site storm must be rejected (no crash-tolerant majority)")
+	}
+	if _, err := DRun(DConfig{Backend: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown backend must be rejected")
+	}
+}

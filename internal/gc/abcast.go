@@ -30,6 +30,13 @@ type ABcast struct {
 	ev       *events
 	batchMax int
 
+	// snapshot and install are the application state-transfer hooks
+	// (gc.Config.Snapshot / InstallSnapshot): snapshot captures the state
+	// every delivery below the sync point produced; install replaces a
+	// joiner's state with it.
+	snapshot func() []byte
+	install  func([]byte)
+
 	pool       map[MsgID]CastMsg
 	delivered  map[MsgID]bool
 	decisions  map[uint64][]CastMsg
@@ -38,15 +45,22 @@ type ABcast struct {
 	inFlush    bool
 	flushInst  uint64
 
-	hABcast, hRecv, hOnDecide, hSync, hSendSync *core.Handler
+	// pendingSync holds joiners whose sync must wait for the current
+	// flush to finish: a snapshot taken mid-batch would miss the batch
+	// tail the joiner is told to skip.
+	pendingSync []transport.NodeID
+
+	hABcast, hRecv, hOnDecide, hSync, hSendSync, hPeerReset *core.Handler
 }
 
-func newABcast(self transport.NodeID, batchMax int, ev *events) *ABcast {
+func newABcast(self transport.NodeID, batchMax int, ev *events, snapshot func() []byte, install func([]byte)) *ABcast {
 	a := &ABcast{
 		mp:        core.NewMicroprotocol("abcast"),
 		self:      self,
 		ev:        ev,
 		batchMax:  batchMax,
+		snapshot:  snapshot,
+		install:   install,
 		pool:      make(map[MsgID]CastMsg),
 		delivered: make(map[MsgID]bool),
 		decisions: make(map[uint64][]CastMsg),
@@ -57,6 +71,7 @@ func newABcast(self transport.NodeID, batchMax int, ev *events) *ABcast {
 	a.hOnDecide = a.mp.AddHandler("onDecide", a.onDecide)
 	a.hSync = a.mp.AddHandler("sync", a.sync)
 	a.hSendSync = a.mp.AddHandler("sendSync", a.sendSync)
+	a.hPeerReset = a.mp.AddHandler("peerReset", a.peerReset)
 	return a
 }
 
@@ -133,12 +148,24 @@ func (a *ABcast) onDecide(ctx *core.Context, msg core.Message) error {
 		a.nextDecide++
 	}
 	a.inFlush = false
+	// Emit syncs deferred during the flush, now that every delivery below
+	// nextDecide has been applied (snapshot and sync point agree).
+	for len(a.pendingSync) > 0 {
+		to := a.pendingSync[0]
+		a.pendingSync = a.pendingSync[1:]
+		if err := ctx.Trigger(a.ev.SyncReq, to); err != nil {
+			return err
+		}
+	}
 	return a.maybePropose(ctx)
 }
 
 // sync handles a join-time state transfer (layerSync on FromRComm): a
-// fresh member fast-forwards its instance pointer to where the group's
-// total order resumes. Members that have already delivered ignore it.
+// fresh member installs the shipped application snapshot and
+// fast-forwards its instance pointer to where the group's total order
+// resumes. Members that have already delivered ignore it, which makes
+// the transfer idempotent — every established member sends one, no
+// coordinator needed, the first to arrive wins.
 func (a *ABcast) sync(ctx *core.Context, msg core.Message) error {
 	in := msg.(rcRecvd)
 	r := wire.NewReader(in.inner)
@@ -146,6 +173,7 @@ func (a *ABcast) sync(ctx *core.Context, msg core.Message) error {
 		return nil
 	}
 	next := r.U64()
+	snap := r.BytesPrefixed()
 	if err := r.Err(); err != nil {
 		return err
 	}
@@ -153,6 +181,9 @@ func (a *ABcast) sync(ctx *core.Context, msg core.Message) error {
 		return nil
 	}
 	a.nextDecide = next
+	if len(snap) > 0 && a.install != nil {
+		a.install(append([]byte(nil), snap...))
+	}
 	for inst := range a.decisions {
 		if inst < next {
 			delete(a.decisions, inst)
@@ -161,15 +192,41 @@ func (a *ABcast) sync(ctx *core.Context, msg core.Message) error {
 	return a.maybePropose(ctx)
 }
 
-// sendSync (SyncReq event) tells a freshly joined site where the total
-// order resumes. It is triggered from Membership's deliverView, which runs
-// inside the flush of the instance that decided the join — so the joiner
-// must resume after that instance.
+// sendSync (SyncReq event) ships a freshly joined site the resume point
+// of the total order plus the application snapshot those deliveries
+// produced. It is triggered from Membership's deliverView, which runs
+// inside the flush of the instance that decided the join — emitting
+// there would snapshot mid-batch, so the request parks until onDecide
+// finishes the flush and re-triggers it.
 func (a *ABcast) sendSync(ctx *core.Context, msg core.Message) error {
 	to := msg.(transport.NodeID)
-	next := a.nextDecide
-	if a.inFlush && a.flushInst+1 > next {
-		next = a.flushInst + 1
+	if a.inFlush {
+		a.pendingSync = append(a.pendingSync, to)
+		return nil
 	}
-	return ctx.Trigger(a.ev.SendOut, rcSendReq{to: to, inner: encodeSyncFrame(next)})
+	var snap []byte
+	if a.snapshot != nil {
+		snap = a.snapshot()
+	}
+	return ctx.Trigger(a.ev.SendOut, rcSendReq{to: to, inner: encodeSyncFrame(a.nextDecide, snap)})
+}
+
+// peerReset forgets a rejoining site's pooled and delivered message IDs.
+// Like RelCast's reset it runs inside the delivery of the site's '+'
+// view operation, so all members drop the dead incarnation's history at
+// the same point in the total order and the fresh incarnation's IDs
+// (sequence restarting at 1) order cleanly.
+func (a *ABcast) peerReset(_ *core.Context, msg core.Message) error {
+	site := msg.(transport.NodeID)
+	for id := range a.pool {
+		if id.Origin == site {
+			delete(a.pool, id)
+		}
+	}
+	for id := range a.delivered {
+		if id.Origin == site {
+			delete(a.delivered, id)
+		}
+	}
+	return nil
 }

@@ -1,11 +1,13 @@
 package gc
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // abHarness drives one ABcast microprotocol in isolation, capturing its
@@ -19,13 +21,25 @@ type abHarness struct {
 	adeliv    []string
 	bcasts    []*CastMsg
 	syncSent  []rcSendReq
+	snapped   int    // Snapshot hook invocations
+	installed []byte // last InstallSnapshot payload
+	capture   *core.Microprotocol
 }
+
+// snapshot and install are the harness's application state-transfer
+// hooks: snapshot reflects the deliveries so far.
+func (h *abHarness) snapshot() []byte {
+	h.snapped++
+	return []byte(fmt.Sprintf("snap-%d", len(h.adeliv)))
+}
+
+func (h *abHarness) install(b []byte) { h.installed = b }
 
 func newABHarness(t *testing.T, batchMax int) *abHarness {
 	t.Helper()
 	h := &abHarness{ev: newEvents()}
 	h.s = core.NewStack(cc.NewVCABasic())
-	h.a = newABcast(0, batchMax, h.ev)
+	h.a = newABcast(0, batchMax, h.ev, h.snapshot, h.install)
 	capture := core.NewMicroprotocol("capture")
 	hProp := capture.AddHandler("propose", func(_ *core.Context, msg core.Message) error {
 		h.proposals = append(h.proposals, msg.(proposeReq))
@@ -53,6 +67,8 @@ func newABHarness(t *testing.T, batchMax int) *abHarness {
 	h.s.Bind(h.ev.Decide, h.a.hOnDecide)
 	h.s.Bind(h.ev.FromRComm, h.a.hSync)
 	h.s.Bind(h.ev.SyncReq, h.a.hSendSync)
+	h.s.Bind(h.ev.PeerReset, h.a.hPeerReset)
+	h.capture = capture
 	h.spec = core.Access(h.a.mp, capture)
 	return h
 }
@@ -180,7 +196,7 @@ func TestABcastRApplIgnored(t *testing.T) {
 
 func TestABcastSyncFastForwards(t *testing.T) {
 	h := newABHarness(t, 64)
-	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(5)}); err != nil {
+	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(5, nil)}); err != nil {
 		t.Fatal(err)
 	}
 	// Decisions below the sync point are ignored; 5 delivers.
@@ -191,11 +207,31 @@ func TestABcastSyncFastForwards(t *testing.T) {
 	}
 }
 
+func TestABcastSyncInstallsSnapshot(t *testing.T) {
+	h := newABHarness(t, 64)
+	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(4, []byte("state@4"))}); err != nil {
+		t.Fatal(err)
+	}
+	if string(h.installed) != "state@4" {
+		t.Fatalf("installed %q, want state@4", h.installed)
+	}
+	// A second sync (another established member's copy) is ignored.
+	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 2, inner: encodeSyncFrame(6, []byte("state@6"))}); err != nil {
+		t.Fatal(err)
+	}
+	if string(h.installed) != "state@4" {
+		t.Fatal("duplicate sync must not reinstall")
+	}
+}
+
 func TestABcastSyncIgnoredOnceEstablished(t *testing.T) {
 	h := newABHarness(t, 64)
 	h.decide(t, 0, cm(1, 1, "a"))
-	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(9)}); err != nil {
+	if err := h.s.External(h.spec, h.ev.FromRComm, rcRecvd{sender: 1, inner: encodeSyncFrame(9, []byte("stale"))}); err != nil {
 		t.Fatal(err)
+	}
+	if h.installed != nil {
+		t.Fatal("established member must not install a snapshot")
 	}
 	h.decide(t, 1, cm(1, 2, "b"))
 	if len(h.adeliv) != 2 {
@@ -203,17 +239,81 @@ func TestABcastSyncIgnoredOnceEstablished(t *testing.T) {
 	}
 }
 
-func TestABcastSendSyncUsesFlushPosition(t *testing.T) {
+// decodeSyncSent unpacks a captured sync frame.
+func decodeSyncSent(t *testing.T, req rcSendReq) (next uint64, snap []byte) {
+	t.Helper()
+	r := wire.NewReader(req.inner)
+	if r.U8() != layerSync {
+		t.Fatal("not a sync frame")
+	}
+	next = r.U64()
+	snap = r.BytesPrefixed()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	return next, snap
+}
+
+func TestABcastSendSyncCarriesSnapshot(t *testing.T) {
 	h := newABHarness(t, 64)
-	// Trigger a sync request outside a flush: next = 0.
+	h.decide(t, 0, cm(1, 1, "a"))
+	// Outside a flush: emit immediately, snapshot reflecting 1 delivery.
 	if err := h.s.External(h.spec, h.ev.SyncReq, simnet.NodeID(2)); err != nil {
 		t.Fatal(err)
 	}
 	if len(h.syncSent) != 1 || h.syncSent[0].to != 2 {
 		t.Fatalf("sync sends = %+v", h.syncSent)
 	}
-	if h.syncSent[0].inner[0] != layerSync {
-		t.Fatal("not a sync frame")
+	next, snap := decodeSyncSent(t, h.syncSent[0])
+	if next != 1 || string(snap) != "snap-1" {
+		t.Fatalf("sync = (%d, %q), want (1, snap-1)", next, snap)
+	}
+}
+
+func TestABcastSendSyncDefersUntilFlushEnd(t *testing.T) {
+	h := newABHarness(t, 64)
+	// A join decided mid-batch: the view op's deliverView triggers
+	// SyncReq while the batch's tail ("z") is still undelivered. The
+	// sync must wait, or the snapshot would miss "z" while the joiner
+	// skips the instance that carries it.
+	join := CastMsg{ID: MsgID{Origin: 1, Seq: 1}, Kind: castViewChg, Op: '+', Site: 2}
+	syncer := core.NewMicroprotocol("syncer")
+	hSyncer := syncer.AddHandler("onJoin", func(ctx *core.Context, msg core.Message) error {
+		if m := msg.(CastMsg); m.Kind == castViewChg {
+			return ctx.Trigger(h.ev.SyncReq, m.Site)
+		}
+		return nil
+	})
+	h.s.Register(syncer)
+	h.s.Bind(h.ev.ADeliver, hSyncer)
+	h.spec = core.Access(h.a.mp, syncer, h.capture)
+	h.decide(t, 0, join, cm(1, 2, "z"))
+	if len(h.syncSent) != 1 {
+		t.Fatalf("sync sends = %+v", h.syncSent)
+	}
+	next, snap := decodeSyncSent(t, h.syncSent[0])
+	// Both deliveries (the view op and "z") precede the snapshot, and
+	// the joiner resumes at instance 1.
+	if next != 1 || string(snap) != "snap-2" {
+		t.Fatalf("sync = (%d, %q), want (1, snap-2)", next, snap)
+	}
+}
+
+func TestABcastPeerResetForgetsOrigin(t *testing.T) {
+	h := newABHarness(t, 64)
+	h.decide(t, 0, cm(2, 1, "old"))
+	h.pool(t, cm(2, 7, "pooled"))
+	if err := h.s.External(h.spec, h.ev.PeerReset, simnet.NodeID(2)); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh incarnation's restarted IDs are orderable again...
+	h.decide(t, 1, cm(2, 1, "new"))
+	if len(h.adeliv) != 2 || h.adeliv[1] != "new" {
+		t.Fatalf("delivered %v, want old then new", h.adeliv)
+	}
+	// ...and the dead incarnation's pooled leftovers are gone.
+	if _, ok := h.a.pool[MsgID{Origin: 2, Seq: 7}]; ok {
+		t.Fatal("pool entry for the dead incarnation survived the reset")
 	}
 }
 

@@ -36,6 +36,10 @@ type consInst struct {
 	proposal []CastMsg // locally known proposal (own or forwarded)
 	hasProp  bool
 	decided  bool
+	// decidedVal keeps the decided value so a late proposer — typically a
+	// joiner whose sync point lies past a decision it never received —
+	// can be answered with a replayed DECIDE instead of stalling forever.
+	decidedVal []CastMsg
 
 	// Coordinator-side bookkeeping.
 	prepared    bool
@@ -186,7 +190,9 @@ func (c *Consensus) recv(ctx *core.Context, msg core.Message) error {
 	switch m.Type {
 	case cPropose:
 		if st.decided {
-			return nil
+			// Replay the decision: the proposer missed it (a joiner's
+			// first instance, or a DECIDE lost to its dead incarnation).
+			return c.sendTo(ctx, in.sender, &consMsg{Type: cDecide, Inst: m.Inst, Round: m.Round, HasValue: true, Value: st.decidedVal})
 		}
 		if !st.hasProp {
 			st.hasProp = true
@@ -269,6 +275,7 @@ func (c *Consensus) recv(ctx *core.Context, msg core.Message) error {
 			return nil
 		}
 		st.decided = true
+		st.decidedVal = m.Value
 		return ctx.TriggerAll(c.ev.Decide, decision{inst: m.Inst, value: m.Value})
 	}
 	return nil

@@ -22,6 +22,7 @@ type events struct {
 	ViewChange *core.EventType // *View → relcast, relcomm, fd, consensus, app
 	JoinLeave  *core.EventType // joinLeaveReq → membership.joinleave
 	SyncReq    *core.EventType // transport.NodeID → abcast.sendSync
+	PeerReset  *core.EventType // transport.NodeID → relcast.peerReset + abcast.peerReset
 	RetrTick   *core.EventType // nil → relcomm.retransmit
 	FDTick     *core.EventType // nil → fd.tick
 	FDBeat     *core.EventType // transport.Datagram → fd.beat
@@ -45,6 +46,7 @@ func newEvents() *events {
 		ViewChange: core.NewEventType("ViewChange"),
 		JoinLeave:  core.NewEventType("JoinLeave"),
 		SyncReq:    core.NewEventType("SyncReq"),
+		PeerReset:  core.NewEventType("PeerReset"),
 		RetrTick:   core.NewEventType("RetransmitTick"),
 		FDTick:     core.NewEventType("FDTick"),
 		FDBeat:     core.NewEventType("FDBeat"),

@@ -14,9 +14,9 @@ func FuzzDecodeMessages(f *testing.F) {
 	f.Add(encodeCastFrame(&CastMsg{ID: MsgID{Origin: 1, Seq: 2}, Kind: castApp, Data: []byte("x")}))
 	f.Add(encodeConsFrame(&consMsg{Type: cAccept, Inst: 1, Round: 2, HasValue: true,
 		Value: []CastMsg{{ID: MsgID{Origin: 1, Seq: 1}, Kind: castViewChg, Op: '+', Site: 3}}}))
-	f.Add(encodeSyncFrame(7))
-	f.Add(encodeData(9, []byte("inner")))
-	f.Add(encodeAck(9))
+	f.Add(encodeSyncFrame(7, []byte("snap")))
+	f.Add(encodeData(4, 9, []byte("inner")))
+	f.Add(encodeAck(4, 9))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_ = decodeCastMsg(wire.NewReader(data))
 		_ = decodeConsMsg(wire.NewReader(data))
@@ -31,7 +31,7 @@ func FuzzSiteSurvivesGarbageDatagrams(f *testing.F) {
 	f.Add([]byte{dgData})
 	f.Add([]byte{dgAck, 1, 2})
 	f.Add([]byte{dgBeat})
-	f.Add(encodeData(1, encodeCastFrame(&CastMsg{ID: MsgID{Origin: 0, Seq: 1}, Kind: castRApp, Data: []byte("ok")})))
+	f.Add(encodeData(0, 1, encodeCastFrame(&CastMsg{ID: MsgID{Origin: 0, Seq: 1}, Kind: castRApp, Data: []byte("ok")})))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		net := simnet.New(simnet.Config{Nodes: 2, Seed: 1})
 		defer net.Close()

@@ -58,8 +58,15 @@ func (m *Membership) deliverView(ctx *core.Context, msg core.Message) error {
 		return err
 	}
 	// Every established member tells a joiner where the total order
-	// resumes (idempotent at the receiver, so no coordinator needed).
+	// resumes, with the application snapshot attached (idempotent at the
+	// receiver, so no coordinator needed). First, forget the joiner's
+	// previous incarnation: this runs at the same total-order point on
+	// every member, so a crash-restarted site's restarted message IDs
+	// dedup identically everywhere.
 	if cm.Op == '+' && cm.Site != m.self {
+		if err := ctx.TriggerAll(m.ev.PeerReset, cm.Site); err != nil {
+			return err
+		}
 		return ctx.Trigger(m.ev.SyncReq, cm.Site)
 	}
 	return nil

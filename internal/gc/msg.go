@@ -157,29 +157,40 @@ func encodeConsFrame(m *consMsg) []byte {
 	return append([]byte(nil), w.Bytes()...)
 }
 
-// encodeSyncFrame wraps the next-instance pointer as a layerSync inner
-// payload (join-time state transfer; decided values carry full message
-// contents, so a fresh member only needs to know where the order resumes).
-func encodeSyncFrame(nextInst uint64) []byte {
-	w := wire.NewWriter(9)
+// encodeSyncFrame wraps the join-time state transfer as a layerSync inner
+// payload: the next ABcast instance (where the total order resumes) plus
+// an opaque application snapshot reflecting every delivery before it —
+// possibly empty when the site runs no snapshot hook. Decided values
+// carry full message contents, so beyond the snapshot a fresh member only
+// needs to know where the order resumes.
+func encodeSyncFrame(nextInst uint64, snap []byte) []byte {
+	w := wire.NewWriter(16 + len(snap))
 	w.U8(layerSync)
 	w.U64(nextInst)
+	w.BytesPrefixed(snap)
 	return append([]byte(nil), w.Bytes()...)
 }
 
-// encodeData builds a RelComm data datagram.
-func encodeData(seq uint64, inner []byte) []byte {
-	w := wire.NewWriter(16 + len(inner))
+// encodeData builds a RelComm data datagram. The epoch identifies the
+// sender's RelComm incarnation: a crash-restarted process starts a fresh
+// epoch, telling receivers to discard the dead incarnation's dedup state
+// instead of silently swallowing the newcomer's restarted sequence space.
+func encodeData(epoch uint32, seq uint64, inner []byte) []byte {
+	w := wire.NewWriter(20 + len(inner))
 	w.U8(dgData)
+	w.U32(epoch)
 	w.U64(seq)
 	w.BytesPrefixed(inner)
 	return append([]byte(nil), w.Bytes()...)
 }
 
-// encodeAck builds a RelComm ack datagram.
-func encodeAck(seq uint64) []byte {
-	w := wire.NewWriter(9)
+// encodeAck builds a RelComm ack datagram, echoing the epoch of the data
+// datagram it acknowledges (so a sender ignores acks addressed to a
+// previous incarnation of itself).
+func encodeAck(epoch uint32, seq uint64) []byte {
+	w := wire.NewWriter(13)
 	w.U8(dgAck)
+	w.U32(epoch)
 	w.U64(seq)
 	return append([]byte(nil), w.Bytes()...)
 }

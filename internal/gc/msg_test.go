@@ -70,20 +70,33 @@ func TestFrameLayers(t *testing.T) {
 	if f := encodeConsFrame(&consMsg{Type: cDecide}); f[0] != layerConsensus {
 		t.Fatal("cons frame layer")
 	}
-	if f := encodeSyncFrame(5); f[0] != layerSync {
+	if f := encodeSyncFrame(5, []byte("snap")); f[0] != layerSync {
 		t.Fatal("sync frame layer")
 	}
 }
 
+func TestSyncFrameRoundTrip(t *testing.T) {
+	f := encodeSyncFrame(7, []byte("state"))
+	r := wire.NewReader(f)
+	if r.U8() != layerSync || r.U64() != 7 || string(r.BytesPrefixed()) != "state" || r.Err() != nil {
+		t.Fatal("sync frame round trip")
+	}
+	f = encodeSyncFrame(3, nil)
+	r = wire.NewReader(f)
+	if r.U8() != layerSync || r.U64() != 3 || len(r.BytesPrefixed()) != 0 || r.Err() != nil {
+		t.Fatal("empty-snapshot sync frame round trip")
+	}
+}
+
 func TestDatagramEncodings(t *testing.T) {
-	d := encodeData(9, []byte("inner"))
+	d := encodeData(77, 9, []byte("inner"))
 	r := wire.NewReader(d)
-	if r.U8() != dgData || r.U64() != 9 || string(r.BytesPrefixed()) != "inner" || r.Err() != nil {
+	if r.U8() != dgData || r.U32() != 77 || r.U64() != 9 || string(r.BytesPrefixed()) != "inner" || r.Err() != nil {
 		t.Fatal("data datagram round trip")
 	}
-	a := encodeAck(9)
+	a := encodeAck(77, 9)
 	r = wire.NewReader(a)
-	if r.U8() != dgAck || r.U64() != 9 || r.Err() != nil {
+	if r.U8() != dgAck || r.U32() != 77 || r.U64() != 9 || r.Err() != nil {
 		t.Fatal("ack datagram round trip")
 	}
 	if b := encodeBeat(); len(b) != 1 || b[0] != dgBeat {

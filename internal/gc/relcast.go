@@ -32,7 +32,7 @@ type RelCast struct {
 	// exact window of the paper's §3 Problem.
 	afterViewChange func()
 
-	hBcast, hRecv, hViewChange *core.Handler
+	hBcast, hRecv, hViewChange, hPeerReset *core.Handler
 }
 
 func newRelCast(self transport.NodeID, initial *View, ev *events, afterViewChange func()) *RelCast {
@@ -47,6 +47,7 @@ func newRelCast(self transport.NodeID, initial *View, ev *events, afterViewChang
 	rb.hBcast = rb.mp.AddHandler("bcast", rb.bcast)
 	rb.hRecv = rb.mp.AddHandler("recv", rb.recv)
 	rb.hViewChange = rb.mp.AddHandler("viewChange", rb.viewChange)
+	rb.hPeerReset = rb.mp.AddHandler("peerReset", rb.peerReset)
 	return rb
 }
 
@@ -104,5 +105,15 @@ func (rb *RelCast) viewChange(_ *core.Context, msg core.Message) error {
 	if rb.afterViewChange != nil {
 		rb.afterViewChange()
 	}
+	return nil
+}
+
+// peerReset forgets a rejoining site's origin history. It runs inside
+// the total-order delivery of the site's '+' view operation, so every
+// member resets at the same point in the order — the fresh incarnation's
+// message IDs (its per-origin sequence restarts at 1) would otherwise be
+// swallowed as duplicates of the dead incarnation's.
+func (rb *RelCast) peerReset(_ *core.Context, msg core.Message) error {
+	delete(rb.seen, msg.(transport.NodeID))
 	return nil
 }

@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +31,17 @@ type pendingSend struct {
 	sentAt time.Time
 }
 
+// peerIn is the receive-side state for one peer: the incarnation (epoch)
+// its datagrams currently carry and the dedup window within it. A peer
+// that crash-restarts announces a fresh random epoch; the first datagram
+// of a new epoch resets the dedup window, so the restarted sender's
+// sequence space (starting over at 1) is not swallowed by the dead
+// incarnation's high-water mark.
+type peerIn struct {
+	epoch uint32
+	seen  dedupe.Seq
+}
+
 // RelComm is the reliable point-to-point microprotocol of paper §3:
 // sequence numbers, acknowledgements, retransmission, and the group-view
 // filter ("the message is discarded if the target is not known"; on
@@ -44,6 +56,7 @@ type pendingSend struct {
 type RelComm struct {
 	mp     *core.Microprotocol
 	self   transport.NodeID
+	epoch  uint32 // this incarnation's identity, constant for the RelComm's life
 	rto    time.Duration
 	window int // max unacknowledged messages per peer; <=0 = unlimited
 	ev     *events
@@ -53,7 +66,7 @@ type RelComm struct {
 	nextSeq map[transport.NodeID]uint64
 	pending map[transport.NodeID]map[uint64]*pendingSend
 	queued  map[transport.NodeID][][]byte // flow control: waiting for window space
-	seen    map[transport.NodeID]*dedupe.Seq
+	peers   map[transport.NodeID]*peerIn
 
 	// droppedStale counts sends discarded because the target was not in
 	// the view — the observable of the §3 Problem.
@@ -66,13 +79,14 @@ func newRelComm(self transport.NodeID, initial *View, rto time.Duration, window 
 	rc := &RelComm{
 		mp:      core.NewMicroprotocol("relcomm"),
 		self:    self,
+		epoch:   rand.Uint32(),
 		rto:     rto,
 		window:  window,
 		ev:      ev,
 		nextSeq: make(map[transport.NodeID]uint64),
 		pending: make(map[transport.NodeID]map[uint64]*pendingSend),
 		queued:  make(map[transport.NodeID][][]byte),
-		seen:    make(map[transport.NodeID]*dedupe.Seq),
+		peers:   make(map[transport.NodeID]*peerIn),
 	}
 	rc.view.Store(initial)
 	rc.hSend = rc.mp.AddHandler("send", rc.send)
@@ -112,7 +126,7 @@ func (rc *RelComm) transmit(ctx *core.Context, to transport.NodeID, inner []byte
 		rc.pending[to] = p
 	}
 	p[seq] = &pendingSend{inner: inner, sentAt: time.Now()}
-	return ctx.Trigger(rc.ev.NetSend, outDatagram{to: to, data: encodeData(seq, inner)})
+	return ctx.Trigger(rc.ev.NetSend, outDatagram{to: to, data: encodeData(rc.epoch, seq, inner)})
 }
 
 // drainQueue sends queued messages while the peer's window has space.
@@ -142,21 +156,29 @@ func (rc *RelComm) recv(ctx *core.Context, msg core.Message) error {
 	r := wire.NewReader(d.Payload)
 	switch kind := r.U8(); kind {
 	case dgData:
+		epoch := r.U32()
 		seq := r.U64()
 		inner := r.BytesPrefixed()
 		if err := r.Err(); err != nil {
 			return err
 		}
-		// Ack unconditionally (duplicates mean the ack was lost).
-		if err := ctx.Trigger(rc.ev.NetSend, outDatagram{to: d.From, data: encodeAck(seq)}); err != nil {
+		// Ack unconditionally (duplicates mean the ack was lost), echoing
+		// the sender's epoch so it can reject acks meant for a previous
+		// incarnation of itself.
+		if err := ctx.Trigger(rc.ev.NetSend, outDatagram{to: d.From, data: encodeAck(epoch, seq)}); err != nil {
 			return err
 		}
-		s := rc.seen[d.From]
-		if s == nil {
-			s = &dedupe.Seq{}
-			rc.seen[d.From] = s
+		p := rc.peers[d.From]
+		if p == nil {
+			p = &peerIn{epoch: epoch}
+			rc.peers[d.From] = p
+		} else if p.epoch != epoch {
+			// The peer restarted into a new incarnation: its sequence
+			// space starts over, so the old dedup window would swallow
+			// everything it now sends.
+			*p = peerIn{epoch: epoch}
 		}
-		if !s.Mark(seq) {
+		if !p.seen.Mark(seq) {
 			return nil
 		}
 		if !rc.view.Load().Contains(d.From) {
@@ -164,9 +186,13 @@ func (rc *RelComm) recv(ctx *core.Context, msg core.Message) error {
 		}
 		return ctx.AsyncTriggerAll(rc.ev.FromRComm, rcRecvd{sender: d.From, inner: append([]byte(nil), inner...)})
 	case dgAck:
+		epoch := r.U32()
 		seq := r.U64()
 		if err := r.Err(); err != nil {
 			return err
+		}
+		if epoch != rc.epoch {
+			return nil // ack for a previous incarnation of this site
 		}
 		if p := rc.pending[d.From]; p != nil {
 			delete(p, seq)
@@ -187,7 +213,7 @@ func (rc *RelComm) retransmit(ctx *core.Context, _ core.Message) error {
 				continue
 			}
 			p.sentAt = now
-			if err := ctx.Trigger(rc.ev.NetSend, outDatagram{to: to, data: encodeData(seq, p.inner)}); err != nil {
+			if err := ctx.Trigger(rc.ev.NetSend, outDatagram{to: to, data: encodeData(rc.epoch, seq, p.inner)}); err != nil {
 				return err
 			}
 		}

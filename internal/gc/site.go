@@ -2,6 +2,7 @@ package gc
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cc"
@@ -51,6 +52,16 @@ type Config struct {
 	FDeliver     func(from transport.NodeID, data []byte)
 	CDeliver     func(from transport.NodeID, data []byte)
 	OnViewChange func(v *View)
+	// Snapshot and InstallSnapshot are the application state-transfer
+	// hooks for joining sites. When a '+' view operation is delivered,
+	// every established member calls Snapshot — at a point where exactly
+	// the deliveries below the shipped sync instance have run — and sends
+	// the bytes to the joiner, whose InstallSnapshot replaces its state
+	// before subsequent deliveries apply. Both run inside computations:
+	// quick, no synchronous Site calls. Nil disables state transfer (the
+	// joiner then starts empty, as before).
+	Snapshot        func() []byte
+	InstallSnapshot func(snap []byte)
 	// RTO is the retransmission timeout (default 50ms); retransmission
 	// scans run at RTO/2.
 	RTO time.Duration
@@ -114,6 +125,8 @@ type Site struct {
 	sem      chan struct{}
 	wg       sync.WaitGroup
 
+	pumpRetries atomic.Uint64 // Recv-not-ok wakeups while the transport is down
+
 	errMu sync.Mutex
 	errs  []error
 }
@@ -170,7 +183,7 @@ func NewSite(cfg Config) *Site {
 	s.relcast = newRelCast(cfg.ID, v, s.ev, cfg.AfterRelCastView)
 	s.fd = newFD(cfg.ID, v, cfg.SuspectAfter, s.ev)
 	s.cons = newConsensus(cfg.ID, v, s.ev)
-	s.ab = newABcast(cfg.ID, cfg.BatchMax, s.ev)
+	s.ab = newABcast(cfg.ID, cfg.BatchMax, s.ev, cfg.Snapshot, cfg.InstallSnapshot)
 	s.memb = newMembership(cfg.ID, v, s.ev)
 	s.fifo = newFifo(cfg.ID, s.ev, cfg.FDeliver)
 	s.causal = newCausal(cfg.ID, s.ev, cfg.CDeliver)
@@ -203,6 +216,7 @@ func (s *Site) bind() {
 		s.fd.hViewChange, s.cons.hViewChange, s.app.hViewChange)
 	s.stack.Bind(ev.JoinLeave, s.memb.hJoinLeave)
 	s.stack.Bind(ev.SyncReq, s.ab.hSendSync)
+	s.stack.Bind(ev.PeerReset, s.relcast.hPeerReset, s.ab.hPeerReset)
 	s.stack.Bind(ev.RetrTick, s.relcomm.hRetransmit)
 	s.stack.Bind(ev.FDTick, s.fd.hTick)
 	s.stack.Bind(ev.FDBeat, s.fd.hBeat)
@@ -243,6 +257,9 @@ func (s *Site) callGraph() [][2]*core.Handler {
 		{s.memb.hDeliverView, s.app.hViewChange},
 		{s.memb.hJoinLeave, s.ab.hABcast},
 		{s.memb.hDeliverView, s.ab.hSendSync},
+		{s.memb.hDeliverView, s.relcast.hPeerReset},
+		{s.memb.hDeliverView, s.ab.hPeerReset},
+		{s.ab.hOnDecide, s.ab.hSendSync},
 		{s.ab.hSendSync, s.relcomm.hSend},
 		{s.ab.hSync, s.cons.hPropose},
 		{s.fd.hTick, s.netout.send},
@@ -328,6 +345,8 @@ func (s *Site) Stop() {
 // classifying by kind so that heartbeats and acks get their narrow specs.
 func (s *Site) pump() {
 	defer s.wg.Done()
+	const maxBackoff = 250 * time.Millisecond
+	backoff := time.Millisecond
 	for {
 		d, ok := s.node.Recv()
 		if !ok {
@@ -337,13 +356,20 @@ func (s *Site) pump() {
 			// the pump alive until the site itself stops — the stack
 			// survives the network blinking (crash-recovery model) and
 			// RelComm's retransmission refills what the outage lost.
+			// Retries back off exponentially (capped) so a long outage
+			// idles instead of burning CPU on a 1ms poll.
+			s.pumpRetries.Add(1)
 			select {
 			case <-s.quit:
 				return
-			case <-time.After(time.Millisecond):
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
 			}
 			continue
 		}
+		backoff = time.Millisecond
 		if len(d.Payload) == 0 {
 			continue
 		}
@@ -427,6 +453,11 @@ func (s *Site) View() *View { return s.relcomm.view.Load() }
 // observable for the paper's §3 Problem.
 func (s *Site) DroppedStale() uint64 { return s.relcomm.DroppedStale() }
 
+// PumpRetries reports how many times the receive pump woke to a
+// still-down transport (regression observable for the pump's backoff: a
+// long outage must cost dozens of wakeups, not one per millisecond).
+func (s *Site) PumpRetries() uint64 { return s.pumpRetries.Load() }
+
 // ABcast atomically (totally-ordered) broadcasts an application payload:
 // one isolated computation triggering the ABcast event, per paper §4.
 func (s *Site) ABcast(data []byte) error {
@@ -481,5 +512,7 @@ func (s *Site) InjectDatagram(d transport.Datagram) error {
 // to inject "the message from the crashed origin" (paper §3 Problem).
 func BuildCastDatagram(from transport.NodeID, rcSeq uint64, id MsgID, data []byte) transport.Datagram {
 	frame := encodeCastFrame(&CastMsg{ID: id, Kind: castRApp, Data: data})
-	return transport.Datagram{From: from, Payload: encodeData(rcSeq, frame)}
+	// Epoch 0 stands in for the crashed origin's incarnation; the
+	// receiver adopts whatever epoch a peer's first datagram carries.
+	return transport.Datagram{From: from, Payload: encodeData(0, rcSeq, frame)}
 }

@@ -1,0 +1,169 @@
+package gc_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/simnet"
+)
+
+// appState is a toy replicated application for state-transfer tests: an
+// append-only log fed by deliveries, snapshot = the log serialised.
+type appState struct {
+	mu        sync.Mutex
+	log       []string
+	installed int // snapshots installed
+}
+
+func (a *appState) deliver(data []byte) {
+	a.mu.Lock()
+	a.log = append(a.log, string(data))
+	a.mu.Unlock()
+}
+
+func (a *appState) snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return []byte(strings.Join(a.log, "\n"))
+}
+
+func (a *appState) install(snap []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.log = nil
+	if len(snap) > 0 {
+		a.log = strings.Split(string(snap), "\n")
+	}
+	a.installed++
+}
+
+func (a *appState) snapshotLog() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.log...)
+}
+
+func (a *appState) installs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.installed
+}
+
+// TestJoinStateTransfer: a joiner receives an application snapshot from
+// an established member alongside the sync point and converges on the
+// full state — including history it never delivered — then applies
+// post-join deliveries on top.
+func TestJoinStateTransfer(t *testing.T) {
+	c := newCluster(t, simnet.Config{Nodes: 3, MinDelay: 50 * time.Microsecond, MaxDelay: 300 * time.Microsecond, Seed: 61})
+	apps := map[simnet.NodeID]*appState{0: {}, 1: {}, 2: {}}
+	withApp := func(id simnet.NodeID) func(*gc.Config) {
+		return func(cfg *gc.Config) {
+			prev := cfg.Deliver
+			cfg.Deliver = func(from simnet.NodeID, data []byte) {
+				apps[id].deliver(data)
+				prev(from, data)
+			}
+			cfg.Snapshot = apps[id].snapshot
+			cfg.InstallSnapshot = apps[id].install
+		}
+	}
+	established := gc.NewView(0, 1)
+	c.addSite(0, established, withApp(0))
+	c.addSite(1, established, withApp(1))
+
+	// Pre-join history that must reach the joiner only via the snapshot.
+	for _, m := range []string{"pre1", "pre2"} {
+		if err := c.sites[0].ABcast([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitDeliveredAt(0, 2)
+	c.waitDeliveredAt(1, 2)
+
+	c.addSite(2, gc.NewView(0, 1, 2), withApp(2))
+	if err := c.sites[0].Join(2); err != nil {
+		t.Fatal(err)
+	}
+	c.waitFor(10*time.Second, "established sites to install {0,1,2}", func() bool {
+		return c.sites[0].View().Contains(2) && c.sites[1].View().Contains(2)
+	})
+	c.waitFor(10*time.Second, "joiner to install a snapshot", func() bool {
+		return apps[2].installs() >= 1
+	})
+
+	// The snapshot carried the full pre-join history in the established
+	// members' delivery order. (ABcast totally orders deliveries but does
+	// not promise sender FIFO — consensus may decide a pool holding only
+	// the later message first — so compare against site 0's log, not the
+	// broadcast order.)
+	snap := apps[2].snapshotLog()
+	if len(snap) < 2 || !contains(snap, "pre1") || !contains(snap, "pre2") {
+		t.Fatalf("joiner state after install = %v, want both pre1 and pre2", snap)
+	}
+	if got, want := strings.Join(snap[:2], " "), strings.Join(apps[0].snapshotLog()[:2], " "); got != want {
+		t.Fatalf("joiner installed order %q, established member delivered %q", got, want)
+	}
+	// Pre-join history arrived via install, not via delivery.
+	for _, m := range c.adeliveries(2) {
+		if m == "pre1" || m == "pre2" {
+			t.Fatalf("joiner delivered pre-join message %q instead of installing it", m)
+		}
+	}
+
+	// Post-join deliveries apply on top of the installed snapshot.
+	if err := c.sites[1].ABcast([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitFor(10*time.Second, "joiner to apply post-join delivery", func() bool {
+		log := apps[2].snapshotLog()
+		return len(log) >= 3 && log[len(log)-1] == "post"
+	})
+	// All three applications converge on the same log (sampled fresh each
+	// poll: site 0 may deliver "post" after the joiner does).
+	c.waitFor(10*time.Second, "app states to converge", func() bool {
+		want := strings.Join(apps[0].snapshotLog(), "\n")
+		return strings.HasSuffix(want, "post") &&
+			strings.Join(apps[1].snapshotLog(), "\n") == want &&
+			strings.Join(apps[2].snapshotLog(), "\n") == want
+	})
+}
+
+// TestPumpBackoffDuringOutage: while a site's transport node is crashed,
+// its receive pump must back off instead of hot-polling. A ~400ms outage
+// costs O(log) retries with exponential backoff, versus ~400 with the
+// old fixed 1ms sleep.
+func TestPumpBackoffDuringOutage(t *testing.T) {
+	c := newCluster(t, simnet.Config{Nodes: 2, MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond, Seed: 71})
+	view := gc.NewView(0, 1)
+	c.addSite(0, view, nil)
+	c.addSite(1, view, nil)
+	if err := c.sites[0].ABcast([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitDeliveredAt(0, 1)
+	c.waitDeliveredAt(1, 1)
+
+	base := c.sites[1].PumpRetries()
+	c.net.Crash(1)
+	time.Sleep(400 * time.Millisecond)
+	c.net.Restart(1)
+
+	retries := c.sites[1].PumpRetries() - base
+	if retries == 0 {
+		t.Fatal("pump never observed the outage")
+	}
+	if retries > 40 {
+		t.Fatalf("pump retried %d times in 400ms; backoff is not engaging", retries)
+	}
+	// The site still works after the transport node restarts: sender 0's
+	// retransmissions refill the new incarnation's inbox.
+	if err := c.sites[0].ABcast([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitFor(15*time.Second, "delivery after restart", func() bool {
+		return contains(c.adeliveries(0), "after") && contains(c.adeliveries(1), "after")
+	})
+}

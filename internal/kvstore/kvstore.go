@@ -78,8 +78,53 @@ func New(cfg Config) *Store {
 	sc.ID = cfg.ID
 	sc.InitialView = cfg.InitialView
 	sc.Deliver = s.apply
+	sc.Snapshot = s.snapshotState
+	sc.InstallSnapshot = s.installSnapshot
 	s.site = gc.NewSite(sc)
 	return s
+}
+
+// snapshotState serialises the replicated map for state transfer to a
+// joining replica. It runs inside a delivery computation, so the map is
+// exactly the post-apply state at one total-order point.
+func (s *Store) snapshotState() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w := wire.NewWriter(16 + 32*len(s.data))
+	w.U64(s.applied)
+	w.UVarint(uint64(len(s.data)))
+	for k, v := range s.data {
+		w.String(k)
+		w.String(v)
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// installSnapshot replaces local state with a snapshot received during
+// join. Deliveries after the snapshot point re-apply on top of it.
+func (s *Store) installSnapshot(snap []byte) {
+	r := wire.NewReader(snap)
+	applied := r.U64()
+	n := r.UVarint()
+	if n > uint64(len(snap)) { // length-prefixed pairs can't outnumber bytes
+		return
+	}
+	data := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.String()
+		v := r.String()
+		if r.Err() != nil {
+			return
+		}
+		data[k] = v
+	}
+	if r.Err() != nil {
+		return
+	}
+	s.mu.Lock()
+	s.data = data
+	s.applied = applied
+	s.mu.Unlock()
 }
 
 // Start launches the replica.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/transport/conformance"
+	"repro/internal/transport/faultnet"
 	"repro/internal/transport/udpnet"
 )
 
@@ -57,6 +58,51 @@ func TestUDPNetConformance(t *testing.T) {
 				t.Fatalf("udpnet.New: %v", err)
 			}
 			return n
+		},
+	})
+}
+
+// TestFaultnetSimnetConformance holds the fault-injecting wrapper to the
+// same contract over the simulator: with zero rates it must be
+// behaviorally invisible, and the battery's loss option routes through
+// faultnet's own drop pipeline instead of simnet's.
+func TestFaultnetSimnetConformance(t *testing.T) {
+	conformance.Run(t, conformance.Backend{
+		Name: "faultnet(simnet)",
+		New: func(t *testing.T, opt conformance.Options) transport.Transport {
+			return faultnet.New(faultnet.Config{
+				Inner: simnet.New(simnet.Config{Nodes: opt.Nodes, Seed: 42}),
+				Seed:  42,
+				Rates: faultnet.Rates{Drop: opt.LossProb},
+			})
+		},
+	})
+}
+
+// TestFaultnetUDPNetConformance runs the battery against real sockets
+// wrapped in faultnet. This is the composition the distributed chaos
+// harness ships, and it closes a hole in the plain udpnet run: udpnet
+// cannot inject partitions itself (it skips the Partition test), but the
+// wrapper is a transport.Partitioner, so here the partition battery
+// executes against real UDP.
+func TestFaultnetUDPNetConformance(t *testing.T) {
+	requireLoopbackUDP(t)
+	conformance.Run(t, conformance.Backend{
+		Name: "udpnet+faultnet",
+		New: func(t *testing.T, opt conformance.Options) transport.Transport {
+			addrs := make([]string, opt.Nodes)
+			for i := range addrs {
+				addrs[i] = "127.0.0.1:0"
+			}
+			n, err := udpnet.New(udpnet.Config{Addrs: addrs, Seed: 42})
+			if err != nil {
+				t.Fatalf("udpnet.New: %v", err)
+			}
+			return faultnet.New(faultnet.Config{
+				Inner: n,
+				Seed:  42,
+				Rates: faultnet.Rates{Drop: opt.LossProb},
+			})
 		},
 	})
 }
