@@ -13,12 +13,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static microprotocol-contract checking (cmd/samoa-vet, DESIGN.md §9):
-# footprint / readonly / nestediso / blocking / routecycle over the
-# repo's own protocol code. Zero findings is the merge bar; deliberate
-# exceptions carry a //samoa:ignore <check> — rationale.
+# Static microprotocol- and concurrency-contract checking (cmd/samoa-vet,
+# DESIGN.md §9, §14): footprint / readonly / nestediso / blocking /
+# routecycle / lockorder / atomics / ignores over the repo's own code.
+# Zero findings is the merge bar; deliberate exceptions carry a
+# //samoa:ignore <check> — rationale, and the ignores check audits those.
 samoa-vet:
-	$(GO) run ./cmd/samoa-vet ./internal/... ./examples/...
+	$(GO) run ./cmd/samoa-vet ./internal/... ./examples/... ./cmd/...
 
 test:
 	$(GO) test ./...

@@ -69,7 +69,7 @@ func runRandom(v bench.Variant, comps, mps, scriptLen int, seed int64) {
 		protos[i] = core.NewMicroprotocol(fmt.Sprintf("P%d", i))
 		events[i] = core.NewEventType(fmt.Sprintf("e%d", i))
 		handlers[i] = protos[i].AddHandler("h", func(ctx *core.Context, msg core.Message) error {
-			time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+			time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond) //samoa:ignore blocking — simulated handler work: the trace driver wants wall-clock interleavings, not explorability
 			rest := msg.([]int)
 			if len(rest) > 0 {
 				return ctx.Trigger(events[rest[0]], rest[1:])

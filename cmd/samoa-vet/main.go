@@ -1,14 +1,18 @@
-// Command samoa-vet statically checks microprotocol isolation contracts
-// (see internal/analysis). It loads the named package patterns, runs the
-// five analyzers, and exits 1 if anything was found:
+// Command samoa-vet statically checks microprotocol isolation and
+// concurrency contracts (see internal/analysis). It loads the named
+// package patterns, runs the eight analyzers, and exits 1 if anything
+// was found:
 //
-//	samoa-vet ./internal/... ./examples/...
-//	samoa-vet -checks footprint,blocking ./internal/gc
+//	samoa-vet ./internal/... ./examples/... ./cmd/...
+//	samoa-vet -checks lockorder,atomics ./internal/cc
 //	samoa-vet -json ./...     # machine-readable findings for CI
 //	samoa-vet -github ./...   # GitHub Actions error annotations
+//	samoa-vet -stats ./...    # per-package model + per-check findings/elapsed
 //
 // Deliberate findings are silenced in source with //samoa:ignore <check>
-// on the flagged line or the line above it.
+// — rationale, on the flagged line or the line above it; the ignores
+// check audits those directives (rationale present, check name known,
+// suppression still live), so suppressions cannot rot.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -25,9 +31,9 @@ func main() {
 	var (
 		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
 		githubOut = flag.Bool("github", false, "emit findings as GitHub Actions annotations")
-		checks    = flag.String("checks", "all", "comma-separated checks to run (footprint,readonly,nestediso,blocking,routecycle)")
+		checks    = flag.String("checks", "all", "comma-separated checks to run ("+strings.Join(analysis.CheckNames(), ",")+")")
 		list      = flag.Bool("list", false, "list the available checks and exit")
-		stats     = flag.Bool("stats", false, "print per-package model-extraction statistics to stderr")
+		stats     = flag.Bool("stats", false, "print per-package model and per-check findings/elapsed statistics to stderr")
 	)
 	flag.Parse()
 
@@ -59,6 +65,7 @@ func main() {
 	}
 
 	var diags []analysis.Diagnostic
+	perCheck := make(map[string]analysis.CheckStat)
 	loadFailed := false
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
@@ -67,8 +74,16 @@ func main() {
 			loadFailed = true
 			continue
 		}
-		diags = append(diags, analysis.RunChecks(pkg, analyzers)...)
+		pkgDiags, pkgStats := analysis.RunChecksStats(pkg, analyzers)
+		diags = append(diags, pkgDiags...)
 		if *stats {
+			for _, s := range pkgStats {
+				agg := perCheck[s.Name]
+				agg.Name = s.Name
+				agg.Findings += s.Findings
+				agg.Elapsed += s.Elapsed
+				perCheck[s.Name] = agg
+			}
 			model := analysis.ExtractModel(pkg)
 			resolvedSpecs := 0
 			for _, s := range model.IsoSites {
@@ -78,6 +93,17 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "samoa-vet: %-40s handlers=%-3d bindings=%-3d isosites=%-3d resolved-specs=%d\n",
 				pkg.ImportPath, len(model.Handlers), len(model.Bindings), len(model.IsoSites), resolvedSpecs)
+		}
+	}
+	if *stats {
+		// Aggregate per-check table, in the analyzers' run order.
+		for _, a := range analyzers {
+			s, ok := perCheck[a.Name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "samoa-vet: check %-12s findings=%-4d elapsed=%s\n",
+				s.Name, s.Findings, s.Elapsed.Round(time.Microsecond))
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one diagnostic class: a name (used in -checks selection
@@ -18,7 +19,9 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns the five analyzers in reporting order.
+// All returns the analyzers in reporting order. IgnoresAnalyzer runs
+// last: it audits the suppressions the other checks honor, so keeping
+// it at the end makes the ordering mirror the dependency.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FootprintAnalyzer,
@@ -26,7 +29,20 @@ func All() []*Analyzer {
 		NestedIsoAnalyzer,
 		BlockingAnalyzer,
 		RouteCycleAnalyzer,
+		LockOrderAnalyzer,
+		AtomicsAnalyzer,
+		IgnoresAnalyzer,
 	}
+}
+
+// CheckNames returns every analyzer name, for help text and for the
+// ignores audit's known-name set.
+func CheckNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // ByName resolves a comma-separated check list ("footprint,blocking")
@@ -44,7 +60,7 @@ func ByName(sel string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a := byName[name]
 		if a == nil {
-			return nil, fmt.Errorf("unknown check %q (have footprint, readonly, nestediso, blocking, routecycle)", name)
+			return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
 		}
 		out = append(out, a)
 	}
@@ -73,6 +89,12 @@ type Pass struct {
 	Model    *Model
 
 	diags *[]Diagnostic
+
+	// noSuppress disables //samoa:ignore handling: the ignores audit
+	// needs each check's raw findings to decide whether a suppression
+	// is still alive, and its own findings must not be silenceable by
+	// the very directive under audit.
+	noSuppress bool
 }
 
 // Fset returns the file set positions resolve against.
@@ -85,7 +107,7 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 // covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+	if !p.noSuppress && p.Pkg.suppressed(p.Analyzer.Name, position) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -98,15 +120,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A CheckStat is one analyzer's contribution to a RunChecksStats call:
+// how many findings it reported (pre-dedup) and how long it ran.
+type CheckStat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
 // RunChecks extracts the protocol model of pkg once and runs every
 // analyzer over it, returning the deduplicated findings in file/line
 // order.
 func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunChecksStats(pkg, analyzers)
+	return diags
+}
+
+// RunChecksStats is RunChecks plus a per-check findings/elapsed
+// breakdown (in analyzer order), for samoa-vet -stats.
+func RunChecksStats(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []CheckStat) {
 	model := ExtractModel(pkg)
 	var diags []Diagnostic
+	stats := make([]CheckStat, 0, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Pkg: pkg, Model: model, diags: &diags}
+		before := len(diags)
+		start := time.Now()
 		a.Run(pass)
+		stats = append(stats, CheckStat{
+			Name:     a.Name,
+			Findings: len(diags) - before,
+			Elapsed:  time.Since(start),
+		})
 	}
 	seen := map[string]bool{}
 	out := diags[:0]
@@ -126,14 +171,26 @@ func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Check < out[j].Check
 	})
-	return out
+	return out, stats
+}
+
+// A Directive is one //samoa:ignore comment: the checks it names (or
+// "all" when bare), the free-text rationale after its "—"/"--"
+// separator, and where it sits. The suppression machinery consumes the
+// line/checks pair; the ignores audit consumes the whole record.
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Line      int
+	Checks    []string
+	Rationale string
 }
 
 // ignoreDirectives scans a file's comments for //samoa:ignore lines.
 // The directive suppresses findings on its own line and, when it is the
 // only thing on its line, on the line below.
-func ignoreDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
-	out := map[int][]string{}
+func ignoreDirectives(fset *token.FileSet, f *ast.File) []*Directive {
+	var out []*Directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//samoa:ignore")
@@ -141,10 +198,11 @@ func ignoreDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
 				continue
 			}
 			// Anything after a "—" or "--" separator is rationale.
-			if list, _, cut := strings.Cut(text, "—"); cut {
-				text = list
-			} else if list, _, cut := strings.Cut(text, "--"); cut {
-				text = list
+			rationale := ""
+			if list, rest, cut := strings.Cut(text, "—"); cut {
+				text, rationale = list, rest
+			} else if list, rest, cut := strings.Cut(text, "--"); cut {
+				text, rationale = list, rest
 			}
 			var checks []string
 			for _, name := range strings.Split(strings.TrimSpace(text), ",") {
@@ -155,8 +213,14 @@ func ignoreDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
 			if len(checks) == 0 {
 				checks = []string{"all"}
 			}
-			line := fset.Position(c.Pos()).Line
-			out[line] = append(out[line], checks...)
+			pos := fset.Position(c.Pos())
+			out = append(out, &Directive{
+				Pos:       c.Pos(),
+				File:      pos.Filename,
+				Line:      pos.Line,
+				Checks:    checks,
+				Rationale: strings.TrimSpace(rationale),
+			})
 		}
 	}
 	return out

@@ -7,6 +7,15 @@
 //
 //	p.stack.External(spec, ev, nil) // want `reaches handler C\.sink`
 //
+// A want-below comment attaches to the line below it — for diagnostics
+// positioned on a comment-only line (the ignores audit reports at the
+// //samoa:ignore directive itself, which cannot share its line with a
+// want, and whose covered window is the line under it):
+//
+//	// want-below `has no rationale`
+//	//samoa:ignore blocking
+//	time.Sleep(time.Millisecond)
+//
 // Several backquoted or quoted patterns may follow one want. Run fails
 // the test if any diagnostic lacks a matching expectation on its line
 // (unexpected finding) or any expectation goes unmatched (missed
@@ -105,11 +114,16 @@ func Run(t testing.TB, dir string, analyzers ...*analysis.Analyzer) {
 func collectWants(fset *token.FileSet, f *ast.File, wants map[string]map[int][]*expectation) error {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
+			offset := 0
 			text, ok := strings.CutPrefix(c.Text, "// want ")
 			if !ok {
-				continue
+				if text, ok = strings.CutPrefix(c.Text, "// want-below "); !ok {
+					continue
+				}
+				offset = 1
 			}
 			pos := fset.Position(c.Pos())
+			pos.Line += offset
 			matches := wantRe.FindAllStringSubmatch(text, -1)
 			if len(matches) == 0 {
 				return fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)

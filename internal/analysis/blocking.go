@@ -40,6 +40,13 @@ func runBlocking(pass *Pass) {
 			reportBlocking(pass, n, label, true)
 		})
 	}
+	pumpVisited := map[ast.Node]bool{}
+	for _, pump := range transportPumps(m) {
+		label := pump.label
+		m.WalkReachable(pump.fn, pumpVisited, func(n ast.Node, _ *FuncNode) {
+			reportBlocking(pass, n, label, true)
+		})
+	}
 }
 
 // reportBlocking flags one AST node if it is a raw scheduling point.
@@ -141,6 +148,125 @@ func controllerMethods(m *Model) []ctrlMethod {
 		}
 	}
 	return out
+}
+
+// transportPumps finds the goroutine pumps of transport backends: in a
+// package whose concrete types implement transport.Transport or
+// transport.Endpoint, every function launched by a go statement and
+// every time.AfterFunc callback is pump code — the socket read loops
+// and delayed-delivery timers that shuttle datagrams below the
+// protocol stacks. Pumps may guard their bookkeeping with mutexes
+// (like controllers), but sleeps, channel operations, selects and
+// nested goroutines there must be deliberate: real-network pumps
+// cannot block through sched.Blocker, so each such site either drains
+// through a quit-checked pattern and carries a rationale'd
+// //samoa:ignore, or is a bug.
+func transportPumps(m *Model) []ctrlMethod {
+	if !implementsTransport(m.Pkg.Types) {
+		return nil
+	}
+	var out []ctrlMethod
+	seen := map[ast.Node]bool{}
+	add := func(fn *FuncNode, label string) {
+		if fn == nil || fn.BodyOf() == nil || seen[fn.NodeOf()] {
+			return
+		}
+		seen[fn.NodeOf()] = true
+		out = append(out, ctrlMethod{fn: fn, label: label})
+	}
+	for _, f := range m.Pkg.Files {
+		var encl []string // enclosing function-name stack for labels
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if _, ok := top.(*ast.FuncDecl); ok {
+					encl = encl[:len(encl)-1]
+				}
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				encl = append(encl, n.Name.Name)
+			case *ast.GoStmt:
+				name := "goroutine"
+				if len(encl) > 0 {
+					name = "goroutine started by " + encl[len(encl)-1]
+				}
+				if fn := m.funcNodeOf(n.Call.Fun); fn != nil {
+					if fn.Decl != nil {
+						name = fn.Decl.Name.Name
+					}
+					add(fn, "transport pump "+name)
+				}
+			case *ast.CallExpr:
+				fn := m.calleeFunc(n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "AfterFunc" || len(n.Args) < 2 {
+					break
+				}
+				name := "timer"
+				if len(encl) > 0 {
+					name = "timer set by " + encl[len(encl)-1]
+				}
+				if cb := m.funcNodeOf(n.Args[1]); cb != nil {
+					if cb.Decl != nil {
+						name = cb.Decl.Name.Name
+					}
+					add(cb, "transport pump "+name)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// implementsTransport reports whether the package declares a concrete
+// (non-interface) type implementing transport.Transport or
+// transport.Endpoint.
+func implementsTransport(pkg *types.Package) bool {
+	var ifaces []*types.Interface
+	lookup := func(p *types.Package) {
+		if p == nil {
+			return
+		}
+		if p.Path() != "internal/transport" && !strings.HasSuffix(p.Path(), "/internal/transport") {
+			return
+		}
+		for _, name := range []string{"Transport", "Endpoint"} {
+			if tn, ok := p.Scope().Lookup(name).(*types.TypeName); ok {
+				if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+					ifaces = append(ifaces, iface)
+				}
+			}
+		}
+	}
+	lookup(pkg)
+	for _, imp := range pkg.Imports() {
+		lookup(imp)
+	}
+	if len(ifaces) == 0 {
+		return false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		for _, iface := range ifaces {
+			if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // controllerInterface locates core.Controller from the package itself

@@ -37,11 +37,39 @@ func TestRouteCycle(t *testing.T) {
 	analysistest.Run(t, testdata("routecycle"), analysis.RouteCycleAnalyzer)
 }
 
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, testdata("lockorder"), analysis.LockOrderAnalyzer)
+}
+
+func TestAtomics(t *testing.T) {
+	analysistest.Run(t, testdata("atomics"), analysis.AtomicsAnalyzer)
+}
+
+func TestIgnores(t *testing.T) {
+	analysistest.Run(t, testdata("ignores"), analysis.IgnoresAnalyzer)
+}
+
+// TestTransportPump runs blocking over a package that implements
+// transport.Endpoint: its go-launched loops and AfterFunc callbacks are
+// pump scope.
+func TestTransportPump(t *testing.T) {
+	analysistest.Run(t, testdata("transportpump"), analysis.BlockingAnalyzer)
+}
+
+// TestCCMirrorClean proves the seeded-regression fixture is clean under
+// every analyzer before the seeds are planted.
+func TestCCMirrorClean(t *testing.T) {
+	analysistest.Run(t, testdata("ccmirror"), analysis.All()...)
+}
+
 // TestByName covers the -checks selection surface.
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
+	}
+	if all[len(all)-1].Name != "ignores" {
+		t.Fatalf("ignores must run last (it audits the other checks' suppressions); got %q", all[len(all)-1].Name)
 	}
 	two, err := analysis.ByName("footprint, blocking")
 	if err != nil || len(two) != 2 || two[0].Name != "footprint" || two[1].Name != "blocking" {

@@ -1,0 +1,98 @@
+package analysis
+
+import "strings"
+
+// IgnoresAnalyzer audits the //samoa:ignore directives themselves, so
+// dogfood suppressions cannot rot: every directive must carry a
+// rationale after a "—" (or "--") separator, name only checks that
+// exist, and still be *live* — the named check must report at the
+// covered lines when suppression is disabled. A directive that fails
+// gets exactly one finding (rationale > unknown name > stale), and the
+// findings here deliberately bypass suppression: a directive cannot
+// silence its own audit.
+var IgnoresAnalyzer = &Analyzer{
+	Name: "ignores",
+	Doc:  "//samoa:ignore needs a rationale, a known check, and a live finding",
+}
+
+// runIgnores is wired in init: it re-runs All() with suppression off,
+// and a package-level reference back to All would be an initialization
+// cycle.
+func init() { IgnoresAnalyzer.Run = runIgnores }
+
+func runIgnores(pass *Pass) {
+	if len(pass.Pkg.Directives) == 0 {
+		return
+	}
+	pass.noSuppress = true
+
+	known := map[string]bool{"all": true}
+	for _, name := range CheckNames() {
+		known[name] = true
+	}
+
+	// Raw findings: every other analyzer, suppression off, against the
+	// already-extracted model. raw[check][file][line] counts findings.
+	raw := map[string]map[string]map[int]int{}
+	var diags []Diagnostic
+	for _, a := range All() {
+		if a.Name == IgnoresAnalyzer.Name {
+			continue
+		}
+		sub := &Pass{Analyzer: a, Pkg: pass.Pkg, Model: pass.Model, diags: &diags, noSuppress: true}
+		a.Run(sub)
+	}
+	for _, d := range diags {
+		if raw[d.Check] == nil {
+			raw[d.Check] = map[string]map[int]int{}
+		}
+		if raw[d.Check][d.File] == nil {
+			raw[d.Check][d.File] = map[int]int{}
+		}
+		raw[d.Check][d.File][d.Line]++
+	}
+	live := func(check, file string, line int) bool {
+		// A directive covers its own line and the line below — the same
+		// window suppressed() honors.
+		for _, l := range []int{line, line + 1} {
+			if check == "all" {
+				for _, perFile := range raw {
+					if perFile[file][l] > 0 {
+						return true
+					}
+				}
+			} else if raw[check][file][l] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range pass.Pkg.Directives {
+		if d.Rationale == "" {
+			pass.Reportf(d.Pos, "//samoa:ignore directive has no rationale — add one after an em-dash: //samoa:ignore %s — why this is safe", strings.Join(d.Checks, ","))
+			continue
+		}
+		reported := false
+		for _, check := range d.Checks {
+			if !known[check] {
+				pass.Reportf(d.Pos, "//samoa:ignore names unknown check %q (have %s)", check, strings.Join(CheckNames(), ", "))
+				reported = true
+				break
+			}
+		}
+		if reported {
+			continue
+		}
+		for _, check := range d.Checks {
+			if !live(check, d.File, d.Line) {
+				if check == "all" {
+					pass.Reportf(d.Pos, "stale //samoa:ignore: no check reports anything at the covered lines — delete the directive")
+				} else {
+					pass.Reportf(d.Pos, "stale //samoa:ignore: %s no longer reports anything at the covered lines — delete the directive", check)
+				}
+				break
+			}
+		}
+	}
+}

@@ -24,6 +24,10 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 
+	// Directives are every //samoa:ignore in the package, in file then
+	// source order — the ignores analyzer audits these.
+	Directives []*Directive
+
 	ignores map[string]map[int][]string // filename → line → suppressed checks
 }
 
@@ -182,6 +186,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("samoa-vet: %s: %v", dir, err)
 	}
 	var files []*ast.File
+	var directives []*Directive
 	ignores := map[string]map[int][]string{}
 	for _, name := range bp.GoFiles {
 		filename := filepath.Join(dir, name)
@@ -190,7 +195,12 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 			return nil, err
 		}
 		files = append(files, f)
-		ignores[filename] = ignoreDirectives(l.Fset, f)
+		lines := map[int][]string{}
+		for _, d := range ignoreDirectives(l.Fset, f) {
+			directives = append(directives, d)
+			lines[d.Line] = append(lines[d.Line], d.Checks...)
+		}
+		ignores[filename] = lines
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -210,6 +220,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Directives: directives,
 		ignores:    ignores,
 	}
 	l.pkgs[path] = pkg

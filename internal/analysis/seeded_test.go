@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// seedCCMirror copies the ccmirror fixture with one mutation applied
+// and runs the given analyzer over the copy, returning its findings.
+// The copy lives under the module root so imports resolve, mirroring
+// TestSeededRegressionCaught.
+func seedCCMirror(t *testing.T, orig, mutated string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	src, err := os.ReadFile(filepath.Join(loader.ModuleRoot, "internal", "analysis", "testdata", "src", "ccmirror", "ccmirror.go"))
+	if err != nil {
+		t.Fatalf("read ccmirror: %v", err)
+	}
+	if !strings.Contains(string(src), orig) {
+		t.Fatalf("ccmirror no longer contains %q; update this test's seed", orig)
+	}
+	seeded := strings.Replace(string(src), orig, mutated, 1)
+
+	dir, err := os.MkdirTemp("testdata", "seeded-")
+	if err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "ccmirror.go"), []byte(seeded), 0o644); err != nil {
+		t.Fatalf("write seeded copy: %v", err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load seeded copy: %v", err)
+	}
+	return analysis.RunChecks(pkg, []*analysis.Analyzer{a})
+}
+
+// expectOnly asserts every diagnostic matches want and at least one was
+// reported.
+func expectOnly(t *testing.T, diags []analysis.Diagnostic, want *regexp.Regexp) {
+	t.Helper()
+	found := false
+	for _, d := range diags {
+		if want.MatchString(d.Message) {
+			found = true
+		} else {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("seeded regression missed; got %d diagnostics", len(diags))
+	}
+}
+
+// TestSeededLockOrderCaught swaps admit's canonical spawnMu→mu nesting:
+// the inversion against publish's order must be reported.
+func TestSeededLockOrderCaught(t *testing.T) {
+	diags := seedCCMirror(t,
+		"\tst.spawnMu.Lock()\n\tst.mu.Lock()",
+		"\tst.mu.Lock()\n\tst.spawnMu.Lock()",
+		analysis.LockOrderAnalyzer)
+	expectOnly(t, diags, regexp.MustCompile(`acquires .* while holding .*opposite order — lock-order inversion`))
+}
+
+// TestSeededAtomicsCaught drops the //samoa:guard on applied: the plain
+// write under mu plus the atomic read elsewhere becomes the undeclared
+// mixed-access smell.
+func TestSeededAtomicsCaught(t *testing.T) {
+	diags := seedCCMirror(t,
+		"\t//samoa:guard mu — written plainly under mu; read via atomic.LoadUint64\n\tapplied uint64",
+		"\tapplied uint64",
+		analysis.AtomicsAnalyzer)
+	expectOnly(t, diags, regexp.MustCompile(`st\.applied is accessed atomically elsewhere but plainly here`))
+}
+
+// TestSeededIgnoresCaught plants a suppression over code that reports
+// nothing: the staleness audit must reject it.
+func TestSeededIgnoresCaught(t *testing.T) {
+	diags := seedCCMirror(t,
+		"// stats reads the published values lock-free.",
+		"//samoa:ignore lockorder — seeded: nothing here for lockorder to report",
+		analysis.IgnoresAnalyzer)
+	expectOnly(t, diags, regexp.MustCompile(`stale //samoa:ignore: lockorder no longer reports anything`))
+}

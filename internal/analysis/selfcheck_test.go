@@ -19,7 +19,7 @@ func TestRepoCleanAtHead(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	dirs, err := loader.Expand([]string{"./internal/...", "./examples/..."})
+	dirs, err := loader.Expand([]string{"./internal/...", "./examples/...", "./cmd/..."})
 	if err != nil {
 		t.Fatalf("expand: %v", err)
 	}

@@ -1,0 +1,112 @@
+// Package atomics is golden testdata for the atomics check: the
+// //samoa:guard contract, the mixed atomic/plain access smell, CAS
+// retry loops that re-read their target plainly, and annotations that
+// name a mutex the struct does not have.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu sync.Mutex
+
+	// lv follows the version-table protocol: mutated only under mu,
+	// read lock-free anywhere.
+	lv atomic.Uint64 //samoa:guard mu — written only under mu; read lock-free
+
+	// applied is written plainly under mu and read via atomic loads —
+	// legal only because the guard annotation pins the protocol.
+	applied uint64 //samoa:guard mu
+
+	// hits has atomic and plain accesses and no declared protocol: the
+	// plain sites are the mixed-access race smell.
+	hits uint64
+
+	// word is CAS-published below; its retry loop must re-read it
+	// atomically.
+	word uint64
+
+	//samoa:guard nosuch
+	bad uint64 // want `//samoa:guard names "nosuch", but counters has no sibling sync\.Mutex/RWMutex field of that name`
+}
+
+// advance mutates the guarded fields under mu: clean.
+func (c *counters) advance(n uint64) {
+	c.mu.Lock()
+	if n > c.lv.Load() {
+		c.lv.Store(n)
+		c.applied++
+	}
+	c.mu.Unlock()
+}
+
+// bumpLocked follows the *Locked convention — the caller holds mu, so
+// the plain write and atomic mutation are sanctioned.
+func (c *counters) bumpLocked() {
+	c.applied++
+	c.lv.Add(1)
+}
+
+// read loads lock-free: atomic reads of guarded fields are the point.
+func (c *counters) read() (uint64, uint64) {
+	return c.lv.Load(), atomic.LoadUint64(&c.applied)
+}
+
+// rogue violates both guard contracts: an atomic mutation and a plain
+// write with mu nowhere in sight.
+func (c *counters) rogue() {
+	c.lv.Store(0) // want `atomic mutation of c\.lv outside its //samoa:guard mu contract`
+	c.applied = 0 // want `plain access to c\.applied outside its //samoa:guard mu contract`
+	c.bad = 0     // no guard resolved: nothing to enforce
+	_ = c.applied // want `plain access to c\.applied outside its //samoa:guard mu contract`
+}
+
+// mixed touches hits both ways without an annotation: the plain sites
+// are flagged, the atomic ones are not.
+func (c *counters) mixed() {
+	c.hits++ // want `c\.hits is accessed atomically elsewhere but plainly here`
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) mixedRead() uint64 {
+	return c.hits // want `c\.hits is accessed atomically elsewhere but plainly here`
+}
+
+// casRetry is the stale-compare bug: the loop CASes word but seeds the
+// compare value from a plain read inside the loop.
+func (c *counters) casRetry(delta uint64) {
+	for {
+		old := c.word // want `CAS retry loop re-reads c\.word non-atomically`
+		if atomic.CompareAndSwapUint64(&c.word, old, old+delta) {
+			return
+		}
+	}
+}
+
+// casClean reads the target atomically inside the loop: clean.
+func (c *counters) casClean(delta uint64) {
+	for {
+		old := atomic.LoadUint64(&c.word)
+		if atomic.CompareAndSwapUint64(&c.word, old, old+delta) {
+			return
+		}
+	}
+}
+
+// watchdog shows closures are their own guard scope: the goroutine
+// takes mu for itself before touching applied.
+func (c *counters) watchdog() {
+	go func() {
+		c.mu.Lock()
+		c.applied++
+		c.mu.Unlock()
+	}()
+}
+
+// construct writes fields in a composite literal: construction precedes
+// sharing and is exempt.
+func construct() *counters {
+	return &counters{applied: 1, hits: 2}
+}

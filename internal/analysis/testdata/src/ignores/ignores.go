@@ -1,0 +1,70 @@
+// Package ignores is golden testdata for the ignores check: the audit
+// of //samoa:ignore directives themselves. Live, rationale'd
+// suppressions pass; bare directives, typo'd check names and stale
+// suppressions are each flagged exactly once, at the directive.
+package ignores
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+func build() {
+	mp := core.NewMicroprotocol("I")
+
+	// The healthy forms: a rationale after the em-dash and a finding
+	// still alive in the covered window (own line or the line below).
+	mp.AddHandler("ok", func(ctx *core.Context, msg core.Message) error {
+		//samoa:ignore blocking — simulated latency: this fixture wants a live suppression
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	mp.AddHandler("inline", func(ctx *core.Context, msg core.Message) error {
+		time.Sleep(time.Millisecond) //samoa:ignore blocking -- end-of-line form with the ASCII separator
+		return nil
+	})
+	mp.AddHandler("everything", func(ctx *core.Context, msg core.Message) error {
+		//samoa:ignore — a bare directive suppresses all checks; still needs a rationale and a live finding
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+
+	// A directive with no rationale is rejected before anything else.
+	mp.AddHandler("bare", func(ctx *core.Context, msg core.Message) error {
+		// want-below `//samoa:ignore directive has no rationale`
+		//samoa:ignore blocking
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+
+	// A typo'd check name would silently suppress nothing, forever.
+	mp.AddHandler("typo", func(ctx *core.Context, msg core.Message) error {
+		// want-below `//samoa:ignore names unknown check "blocknig"`
+		//samoa:ignore blocknig — the sleep below is deliberate
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+
+	// The suppressed code is gone; the suppression rotted in place.
+	mp.AddHandler("stale", func(ctx *core.Context, msg core.Message) error {
+		// want-below `stale //samoa:ignore: blocking no longer reports anything`
+		//samoa:ignore blocking — there used to be a sleep here
+		return nil
+	})
+
+	// One live check does not excuse a dead one in the same directive.
+	mp.AddHandler("multi", func(ctx *core.Context, msg core.Message) error {
+		// want-below `stale //samoa:ignore: nestediso no longer reports anything`
+		//samoa:ignore blocking,nestediso — the sleep is real; the nested Isolated is long gone
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+
+	// A bare directive covering nothing at all.
+	mp.AddHandler("deadall", func(ctx *core.Context, msg core.Message) error {
+		// want-below `stale //samoa:ignore: no check reports anything at the covered lines`
+		//samoa:ignore — this handler is pure
+		return nil
+	})
+}

@@ -1,0 +1,158 @@
+// Package lockorder is golden testdata for the lockorder check:
+// opposite-order acquisitions, interprocedural edges, the double-lock
+// self-deadlock, and the sanctioned patterns (consistent order, early
+// release, goroutine isolation, the compiled lockOrder idiom).
+package lockorder
+
+import "sync"
+
+// shard's two mutexes are taken in opposite orders by ab and ba: both
+// inner acquisitions are flagged, each pointing at the other.
+type shard struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func ab(s *shard) {
+	s.a.Lock()
+	s.b.Lock() // want `acquires s\.b while holding s\.a`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func ba(s *shard) {
+	s.b.Lock()
+	s.a.Lock() // want `acquires s\.a while holding s\.b`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// double reacquires the same mutex on one path: certain self-deadlock.
+func double(s *shard) {
+	s.a.Lock()
+	s.a.Lock() // want `acquires s\.a twice on the same path`
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// table's inversion is interprocedural: flush holds mu across a helper
+// that takes statq, while stats nests them the other way.
+type table struct {
+	mu    sync.Mutex
+	statq sync.Mutex
+}
+
+func (t *table) flush() {
+	t.mu.Lock()
+	t.pushLocked()
+	t.mu.Unlock()
+}
+
+// deferred holds mu to function end (deferred unlock) through the same
+// helper — same edge as flush, deduplicated, no extra finding.
+func (t *table) deferred() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pushLocked()
+}
+
+func (t *table) pushLocked() {
+	t.statq.Lock() // want `acquires t\.statq while holding t\.mu`
+	t.statq.Unlock()
+}
+
+func (t *table) stats() {
+	t.statq.Lock()
+	t.mu.Lock() // want `acquires t\.mu while holding t\.statq`
+	t.mu.Unlock()
+	t.statq.Unlock()
+}
+
+// pair is the clean case: every path agrees x before y, releases before
+// reacquiring in the other order, or hands off to a goroutine that
+// starts with nothing held.
+type pair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (p *pair) both() {
+	p.x.Lock()
+	p.y.Lock()
+	p.y.Unlock()
+	p.x.Unlock()
+}
+
+func (p *pair) again() {
+	p.x.Lock()
+	p.y.Lock()
+	p.y.Unlock()
+	p.x.Unlock()
+}
+
+func (p *pair) sequential() {
+	p.x.Lock()
+	p.x.Unlock()
+	p.y.Lock()
+	p.y.Unlock()
+}
+
+func (p *pair) reverseSequential() {
+	p.y.Lock()
+	p.y.Unlock()
+	p.x.Lock()
+	p.x.Unlock()
+}
+
+func (p *pair) spawns() {
+	p.x.Lock()
+	go func() {
+		p.y.Lock()
+		p.y.Unlock()
+	}()
+	p.x.Unlock()
+}
+
+// rw: read locks order against write locks exactly like exclusive ones —
+// an RLock/Lock inversion still deadlocks with a writer in between.
+type rw struct {
+	m  sync.RWMutex
+	mu sync.Mutex
+}
+
+func (r *rw) readThenLock() {
+	r.m.RLock()
+	r.mu.Lock() // want `acquires r\.mu while holding r\.m`
+	r.mu.Unlock()
+	r.m.RUnlock()
+}
+
+func (r *rw) lockThenRead() {
+	r.mu.Lock()
+	r.m.RLock() // want `acquires r\.m while holding r\.mu`
+	r.m.RUnlock()
+	r.mu.Unlock()
+}
+
+// ordered mirrors internal/cc's compiled-footprint idiom: per-slot
+// mutexes acquired in the precomputed lockOrder are ordered by
+// construction and never contribute edges — even though the same field
+// is "reacquired" every iteration.
+type orderedSlot struct {
+	spawnMu sync.Mutex
+	mu      sync.Mutex
+}
+
+type ordered struct {
+	states    []*orderedSlot
+	lockOrder []int
+}
+
+func (o *ordered) claim() {
+	for _, p := range o.lockOrder {
+		o.states[p].spawnMu.Lock()
+	}
+	for _, p := range o.lockOrder {
+		o.states[p].spawnMu.Unlock()
+	}
+}

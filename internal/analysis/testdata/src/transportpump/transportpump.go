@@ -1,0 +1,76 @@
+// Package transportpump is golden testdata for the blocking check's
+// transport-pump scope: in a package with a concrete transport.Endpoint
+// implementation, goroutines launched by go statements and
+// time.AfterFunc callbacks are pump code. Mutex bookkeeping there is
+// exempt (like controllers); sleeps, channel operations, selects and
+// nested goroutines are flagged.
+package transportpump
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ep implements transport.Endpoint, which turns this package's
+// goroutines into pump scope.
+type ep struct {
+	mu    sync.Mutex
+	seq   uint64
+	inbox chan transport.Datagram
+	quit  chan struct{}
+}
+
+func (e *ep) ID() transport.NodeID                     { return 0 }
+func (e *ep) Send(to transport.NodeID, payload []byte) {}
+func (e *ep) Recv() (transport.Datagram, bool)         { d, ok := <-e.inbox; return d, ok }
+func (e *ep) TryRecv() (transport.Datagram, bool)      { return transport.Datagram{}, false }
+
+// start launches the pumps. The go statement and AfterFunc here are the
+// launch sites, not pump code themselves: not flagged.
+func start(e *ep) {
+	go e.readLoop()
+	go func() {
+		<-e.quit // want `raw channel receive inside transport pump goroutine started by start`
+	}()
+	time.AfterFunc(time.Millisecond, e.tick)
+}
+
+// readLoop is a socket-style pump: its select, receive and sleep are
+// all invisible to the schedule explorer and flagged; the bookkeeping
+// mutex is exempt.
+func (e *ep) readLoop() {
+	for {
+		e.mu.Lock()
+		e.seq++
+		e.mu.Unlock()
+		select { // want `select inside transport pump readLoop`
+		case <-e.quit: // want `raw channel receive inside transport pump readLoop`
+			return
+		default:
+		}
+		time.Sleep(time.Millisecond) // want `time\.Sleep inside transport pump readLoop`
+	}
+}
+
+// tick is an AfterFunc pump: the send into the inbox is flagged, the
+// mutex is not.
+func (e *ep) tick() {
+	e.mu.Lock()
+	e.seq++
+	e.mu.Unlock()
+	e.inbox <- transport.Datagram{} // want `raw channel send inside transport pump tick`
+}
+
+// drain is ordinary code — called synchronously, never go-launched — so
+// its blocking is out of pump scope and unflagged.
+func drain(e *ep) {
+	for {
+		select {
+		case <-e.inbox:
+		default:
+			return
+		}
+	}
+}

@@ -50,7 +50,7 @@ type boundToken struct {
 	mu        sync.Mutex
 	fp        *footprint
 	nodes     []relNode
-	requested []uint64 // visits consumed so far; guarded by mu
+	requested []uint64 //samoa:guard mu — visits consumed so far
 }
 
 // Spawn implements rule 1. The footprint is validated in full before any

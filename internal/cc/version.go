@@ -39,7 +39,7 @@ import (
 type mpState struct {
 	blk     sched.Blocker
 	mu      sync.Mutex
-	lv      atomic.Uint64 // written only under mu; read lock-free by waitAtLeast
+	lv      atomic.Uint64 //samoa:guard mu — written only under mu; read lock-free by waitAtLeast
 	pending []release     // sorted by minLv ascending
 	waiters []waitEntry   // sorted by min ascending; FIFO among equal thresholds
 
@@ -72,8 +72,8 @@ type mpState struct {
 	draining atomic.Uint32
 
 	// rw is VCARW's reader-group bookkeeping for this slot, created
-	// lazily and guarded by spawnMu. Nil for every other controller.
-	rw *rwState
+	// lazily. Nil for every other controller.
+	rw *rwState //samoa:guard spawnMu — created and mutated only under the slot's spawnMu
 }
 
 // release asks for lv to be raised to target once lv >= minLv. Targets

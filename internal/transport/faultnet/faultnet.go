@@ -78,11 +78,11 @@ type Net struct {
 	seed  int64
 
 	mu      sync.Mutex
-	rates   Rates
-	links   map[linkKey]*link
-	group   map[transport.NodeID]int // partition group per node; nil = healed
-	blocked map[linkKey]bool         // asymmetric one-way blocks
-	closed  bool
+	rates   Rates                    //samoa:guard mu
+	links   map[linkKey]*link        //samoa:guard mu
+	group   map[transport.NodeID]int //samoa:guard mu — partition group per node; nil = healed
+	blocked map[linkKey]bool         //samoa:guard mu — asymmetric one-way blocks
+	closed  bool                     //samoa:guard mu
 
 	// Overlay counters for faults injected here; Stats() adds them to
 	// the inner backend's counters (which count what was forwarded).

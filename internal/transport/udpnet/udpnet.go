@@ -66,9 +66,9 @@ type Net struct {
 	cfg   Config
 	nodes []*node
 
-	mu     sync.Mutex // guards rng, closed
-	rng    *rand.Rand
-	closed bool
+	mu     sync.Mutex
+	rng    *rand.Rand //samoa:guard mu
+	closed bool       //samoa:guard mu
 
 	sent            atomic.Uint64
 	delivered       atomic.Uint64
@@ -249,8 +249,8 @@ func (n *Net) readLoop(nd *node, g *nodeGen) {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			select {
-			case <-g.quit:
+			select { //samoa:ignore blocking — quit-checked retry on a real socket; non-blocking by its default arm
+			case <-g.quit: //samoa:ignore blocking — the quit probe is what bounds the retry loop at crash/Close
 				return
 			default:
 				continue // transient; UDP read errors are rare and non-fatal
@@ -265,8 +265,8 @@ func (n *Net) readLoop(nd *node, g *nodeGen) {
 			continue
 		}
 		d.Payload = append([]byte(nil), d.Payload...)
-		select {
-		case g.inbox <- d:
+		select { //samoa:ignore blocking — socket pump hand-off; the default arm sheds load instead of blocking
+		case g.inbox <- d: //samoa:ignore blocking — inbox enqueue never blocks (overflow is counted and dropped)
 			n.delivered.Add(1)
 		default:
 			n.droppedOverflow.Add(1)
