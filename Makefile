@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet samoa-vet test race race-contend socket-tests node-demo bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep chaos-net chaos-net-deep examples clean
+.PHONY: all build vet samoa-vet test race race-contend socket-tests node-demo bench bench-core eval eval-quick eval-json fuzz fuzz-smoke explore explore-deep chaos chaos-deep chaos-swap chaos-swap-deep chaos-net chaos-net-deep examples clean
 
 all: build vet samoa-vet test
 
@@ -104,6 +104,20 @@ chaos:
 
 chaos-deep:
 	CHAOS_DEEP=1 $(GO) test ./internal/chaos -run TestChaos -count=1 -v -timeout 30m
+
+# Swap storms (internal/chaos swap.go, DESIGN.md §15): live
+# reconfigurations raced against in-flight computations, injected faults
+# and cancellations on every swap-safe controller, checked against the
+# epoch-drain ledger (every swap commits, superseded epochs retire with
+# balanced lifecycles, no dispatch into dead epochs, zero acked-write
+# loss across the version-chain handoff). `chaos-swap` is the per-push
+# 10-seed battery; `chaos-swap-deep` sweeps 40 seeds under -race.
+# Reproduce one failure with CHAOS_SEED=<n> make chaos-swap.
+chaos-swap:
+	$(GO) test ./internal/chaos -run TestSwapStorm -count=1 -v
+
+chaos-swap-deep:
+	CHAOS_DEEP=1 $(GO) test -race ./internal/chaos -run TestSwapStorm -count=1 -v -timeout 30m
 
 # Distributed chaos (internal/chaos dchaos, DESIGN.md §13): seeded storms
 # of transport crash/restarts, majority-preserving partitions and message

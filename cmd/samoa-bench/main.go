@@ -1,5 +1,5 @@
 // Command samoa-bench runs the repository's evaluation — experiments
-// E1–E12 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
+// E1–E13 of DESIGN.md — and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameters")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e12) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_E<k>.json (controller → metric → value)")
 	cpus := flag.String("cpu", "1,2,4,8", "comma-separated GOMAXPROCS values for the e11 contention sweep")
 	flag.Parse()
@@ -77,6 +77,9 @@ func main() {
 		{"e12", func() *bench.Table {
 			return bench.E12KVOverUDP(6, pick(*quick, 10, 40))
 		}},
+		{"e13", func() *bench.Table {
+			return bench.E13SwapLatency(8, pick(*quick, 10, 50), 100*time.Microsecond)
+		}},
 	}
 	ran := 0
 	for _, e := range full {
@@ -96,7 +99,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e12 or all")
+		fmt.Fprintln(os.Stderr, "no experiments selected; use -exp e1..e13 or all")
 		os.Exit(2)
 	}
 }

@@ -17,6 +17,7 @@
 //	samoa-node -server 127.0.0.1:7851 put greeting hello
 //	samoa-node -server 127.0.0.1:7852 get greeting        # → hello, replicated
 //	samoa-node -server 127.0.0.1:7853 cas greeting hello goodbye
+//	samoa-node -server 127.0.0.1:7851 upgrade 2   # live protocol bump, zero downtime
 //	samoa-node -server 127.0.0.1:7851 stats
 //
 // On startup the node prints one machine-parseable line:
@@ -57,7 +58,7 @@ func main() {
 	rto := flag.Duration("rto", 15*time.Millisecond, "retransmission timeout")
 	fdInterval := flag.Duration("fd-interval", 25*time.Millisecond, "failure-detector heartbeat period")
 	joinVia := flag.String("join-via", "", "HTTP address of a live member to request admission from at startup (crash-rejoin); empty for initial cluster boot")
-	server := flag.String("server", "", "client mode: HTTP address of a running node; followed by get|put|del|cas|stats and arguments")
+	server := flag.String("server", "", "client mode: HTTP address of a running node; followed by get|put|del|cas|upgrade|stats and arguments")
 	flag.Parse()
 
 	if *server != "" {
@@ -250,14 +251,32 @@ func api(store *kvstore.Store, tr *udpnet.Net, id int) http.Handler {
 	}
 	mux.HandleFunc("POST /join/{id}", memberOp(store.Site().Join))
 	mux.HandleFunc("POST /leave/{id}", memberOp(store.Site().Leave))
+	// Live reconfiguration: propose a protocol-version bump. The '^'
+	// operation rides the total order like a join/leave, so every replica
+	// hot-swaps its app microprotocol (one configuration epoch) at the
+	// same delivery point, mid-traffic, without dropping a write.
+	mux.HandleFunc("POST /reconfigure/{proto}", func(w http.ResponseWriter, r *http.Request) {
+		proto, err := strconv.Atoi(r.PathValue("proto"))
+		if err != nil || proto <= 0 || proto > 65535 {
+			http.Error(w, "bad proto version (want 1..65535)", http.StatusBadRequest)
+			return
+		}
+		if err := store.Site().ProposeUpgrade(uint16(proto)); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		stats := tr.Stats()
 		json.NewEncoder(w).Encode(map[string]any{
-			"id":      id,
-			"applied": store.Applied(),
-			"keys":    store.Len(),
-			"view":    store.Site().View().String(),
+			"id":          id,
+			"applied":     store.Applied(),
+			"keys":        store.Len(),
+			"view":        store.Site().View().String(),
+			"epoch":       store.Site().Epoch(),
+			"app_version": store.Site().AppVersion(),
 			"faults": map[string]uint64{
 				"dropped_loss":      stats.DroppedLoss,
 				"dropped_crashed":   stats.DroppedCrashed,
@@ -368,6 +387,15 @@ func runClient(server string, args []string) int {
 			return fail("cas failed: %v %s (code %d)", err, body, code)
 		}
 		fmt.Println(body)
+	case "upgrade":
+		if len(args) != 1 {
+			return fail("usage: upgrade <proto-version>")
+		}
+		// Idempotent: a duplicate '^' at the same version is delivered
+		// and ignored by every replica, so retry is safe.
+		if body, code, err := do(retries, simple("POST", "/reconfigure/"+url.PathEscape(args[0]))); err != nil || code >= 300 {
+			return fail("upgrade failed: %v %s (code %d)", err, body, code)
+		}
 	case "stats":
 		body, _, err := do(retries, simple("GET", "/statusz"))
 		if err != nil {
@@ -375,7 +403,7 @@ func runClient(server string, args []string) int {
 		}
 		fmt.Println(body)
 	default:
-		return fail("unknown command %q: want get|put|del|cas|stats", cmd)
+		return fail("unknown command %q: want get|put|del|cas|upgrade|stats", cmd)
 	}
 	return 0
 }

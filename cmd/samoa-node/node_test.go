@@ -220,6 +220,45 @@ func TestThreeProcessCluster(t *testing.T) {
 		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(),
 		float64(ops*n)/elapsed.Seconds())
 
+	// Live reconfiguration over real sockets: a protocol bump proposed on
+	// one node rides the total order, and every process hot-swaps its app
+	// microprotocol — statusz must show epoch 2 and app_version 2
+	// everywhere, with the store still serving.
+	resp, err := client.Post("http://"+procs[1].httpAddr+"/reconfigure/2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("reconfigure: HTTP %d", resp.StatusCode)
+	}
+	type statusz struct {
+		Epoch      uint64 `json:"epoch"`
+		AppVersion uint16 `json:"app_version"`
+	}
+	for node := 0; node < n; node++ {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			var st statusz
+			resp, err := client.Get("http://" + procs[node].httpAddr + "/statusz")
+			if err == nil {
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+			}
+			if err == nil && st.Epoch == 2 && st.AppVersion == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never reached epoch 2 / app v2 (last: %+v, err %v)", node, st, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := put(1, "post-upgrade", "ok"); err != nil {
+		t.Fatalf("write after live upgrade: %v", err)
+	}
+
 	// Convergence marker, then graceful shutdown: SIGTERM must drain and
 	// exit 0 on every node.
 	if err := put(2, "done", "yes"); err != nil {

@@ -93,8 +93,64 @@ func run(name string, ctrl core.Controller) {
 	}
 }
 
+// runUpgrade is the zero-downtime act: a 3-site group under live ABcast
+// traffic receives a protocol-version bump ('^') through the total
+// order. Every site hot-swaps its app microprotocol — one configuration
+// epoch per site, in-flight computations finishing on the old one — and
+// not a single delivery is lost or reordered.
+func runUpgrade() {
+	net := simnet.New(simnet.Config{Nodes: 3, Seed: 7})
+	defer net.Close()
+
+	view := gc.NewView(0, 1, 2)
+	counts := make([]chan struct{}, 3)
+	sites := make([]*gc.Site, 3)
+	for i := range sites {
+		i := i
+		counts[i] = make(chan struct{}, 64)
+		sites[i] = gc.NewSite(gc.Config{
+			Net: net, ID: simnet.NodeID(i), InitialView: view, FDInterval: -1,
+			Deliver: func(simnet.NodeID, []byte) { counts[i] <- struct{}{} },
+		})
+		sites[i].Start()
+		defer sites[i].Stop()
+	}
+
+	fmt.Println("— live upgrade (epoch swap) —")
+	const msgs = 10
+	for k := 0; k < msgs; k++ {
+		if err := sites[k%3].ABcast([]byte{byte(k)}); err != nil {
+			fmt.Println("  broadcast:", err)
+			return
+		}
+		if k == msgs/2 {
+			fmt.Println("  mid-traffic: site 0 proposes protocol v2 ('^' rides the total order)")
+			if err := sites[0].ProposeUpgrade(2); err != nil {
+				fmt.Println("  upgrade:", err)
+				return
+			}
+		}
+	}
+	for i, ch := range counts {
+		for k := 0; k < msgs; k++ {
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				fmt.Printf("  site %d delivered only %d/%d ✗\n", i, k, msgs)
+				return
+			}
+		}
+	}
+	for _, s := range sites {
+		fmt.Printf("  site %d: app v%d, stack epoch %d, view %s — all %d deliveries intact ✓\n",
+			s.ID(), s.AppVersion(), s.Epoch(), s.View(), msgs)
+	}
+	fmt.Println()
+}
+
 func main() {
 	run("cactus-style (None)", cc.NewNone())
 	run("SAMOA isolated (VCAbasic)", cc.NewVCABasic())
+	runUpgrade()
 	fmt.Println("Same protocol code; only the controller differs (paper §3–§4).")
 }

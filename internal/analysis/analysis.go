@@ -31,6 +31,7 @@ func All() []*Analyzer {
 		RouteCycleAnalyzer,
 		LockOrderAnalyzer,
 		AtomicsAnalyzer,
+		ReconfigAnalyzer,
 		IgnoresAnalyzer,
 	}
 }

@@ -45,6 +45,10 @@ func TestAtomics(t *testing.T) {
 	analysistest.Run(t, testdata("atomics"), analysis.AtomicsAnalyzer)
 }
 
+func TestReconfig(t *testing.T) {
+	analysistest.Run(t, testdata("reconfig"), analysis.ReconfigAnalyzer)
+}
+
 func TestIgnores(t *testing.T) {
 	analysistest.Run(t, testdata("ignores"), analysis.IgnoresAnalyzer)
 }
@@ -65,8 +69,8 @@ func TestCCMirrorClean(t *testing.T) {
 // TestByName covers the -checks selection surface.
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 8 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	if all[len(all)-1].Name != "ignores" {
 		t.Fatalf("ignores must run last (it audits the other checks' suppressions); got %q", all[len(all)-1].Name)

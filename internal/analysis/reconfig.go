@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// ReconfigAnalyzer validates live-reconfiguration edits statically. A
+// Stack.Reconfigure edit closure is executed under the stack's epoch
+// lock and its validation failures surface only at runtime — when the
+// swap is already racing live traffic. Three misuse patterns are
+// decidable from the source alone:
+//
+//   - A Replace whose successor microprotocol does not register a
+//     handler for every handler of its predecessor: Epoch.Replace
+//     rewrites bindings by handler name and rejects the edit when a
+//     bound one is missing, so the upgrade fails exactly when deployed.
+//   - A Bind or Rebind, inside the same edit, to a handler of a
+//     microprotocol the edit removes: Epoch.validate rejects bindings
+//     into microprotocols absent from the new epoch.
+//   - Two edit operations (Remove/Replace) targeting the same name in
+//     one closure: the second always fails — the first already took the
+//     name out of the epoch.
+var ReconfigAnalyzer = &Analyzer{
+	Name: "reconfig",
+	Doc:  "Reconfigure edits must keep handler continuity across epochs",
+	Run:  runReconfig,
+}
+
+// epochOp is one Epoch method call observed inside an edit closure.
+type epochOp struct {
+	call *ast.CallExpr
+	name string // Epoch method name
+}
+
+func runReconfig(pass *Pass) {
+	m := pass.Model
+
+	// Microprotocol creation sites by constant name, for resolving the
+	// predecessor of a Replace("name", next). Ambiguous names (two
+	// creation sites) resolve to nothing — the check skips, not guesses.
+	mpByName := map[string][]*Val{}
+	for _, v := range m.sites {
+		if v.Kind == KMP && v.Name != "" {
+			mpByName[v.Name] = append(mpByName[v.Name], v)
+		}
+	}
+	uniqueMP := func(name string) *Val {
+		if vs := mpByName[name]; len(vs) == 1 {
+			return vs[0]
+		}
+		return nil
+	}
+
+	for _, f := range m.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := coreFunc(m.calleeFunc(call))
+			if !ok || recv != "Stack" {
+				return true
+			}
+			editArg := -1
+			switch name {
+			case "Reconfigure":
+				editArg = 0
+			case "ReconfigureContext":
+				editArg = 1
+			default:
+				return true
+			}
+			if editArg >= len(call.Args) {
+				return true
+			}
+			if edit := m.funcNodeOf(call.Args[editArg]); edit != nil {
+				checkEdit(pass, edit, uniqueMP)
+			}
+			return true
+		})
+	}
+}
+
+// checkEdit audits one edit closure (helpers it statically calls
+// included) against the three decidable misuse patterns.
+func checkEdit(pass *Pass, edit *FuncNode, uniqueMP func(string) *Val) {
+	m := pass.Model
+	var ops []epochOp
+	m.WalkReachable(edit, map[ast.Node]bool{}, func(n ast.Node, _ *FuncNode) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, name, ok := coreFunc(m.calleeFunc(call)); ok && recv == "Epoch" {
+				ops = append(ops, epochOp{call: call, name: name})
+			}
+		}
+	})
+
+	// Replay the edit operations in source order, tracking which names
+	// the epoch has lost so far. Order matters at runtime too: a Bind
+	// before a Remove is stripped with the microprotocol (valid), a Bind
+	// after it survives into validation and is rejected; a removed name
+	// re-registered under a fresh identity (the fresh-slot idiom) is back
+	// in the epoch from that point on.
+	gone := map[string]*ast.CallExpr{}
+	for _, op := range ops {
+		switch op.name {
+		case "Remove", "Replace":
+			if len(op.call.Args) == 0 {
+				continue
+			}
+			name, ok := m.strConst(op.call.Args[0])
+			if !ok {
+				continue
+			}
+			if first, dup := gone[name]; dup {
+				pos := m.Pkg.Fset.Position(first.Pos())
+				pass.Reportf(op.call.Pos(),
+					"%s %q: the edit already took this name out of the epoch at line %d — the second operation always fails validation",
+					op.name, name, pos.Line)
+				continue
+			}
+			gone[name] = op.call
+			if op.name == "Replace" && len(op.call.Args) > 1 {
+				if next := m.chase(op.call.Args[1], nil); next != nil && next.Kind == KMP {
+					if next.Name != "" {
+						delete(gone, next.Name)
+					}
+					checkReplacement(pass, op.call, uniqueMP(name), next)
+				}
+			}
+		case "Register":
+			for _, a := range op.call.Args {
+				if mp := m.chase(a, nil); mp != nil && mp.Kind == KMP && mp.Name != "" {
+					delete(gone, mp.Name)
+				}
+			}
+		case "Bind", "Rebind":
+			if len(op.call.Args) < 2 {
+				continue
+			}
+			for _, a := range op.call.Args[1:] {
+				h := m.chase(a, nil)
+				if h == nil || h.Kind != KHandler || h.MP == nil || h.MP.Name == "" {
+					continue
+				}
+				if _, dropped := gone[h.MP.Name]; dropped {
+					pass.Reportf(op.call.Pos(),
+						"%s to handler %s, but this edit removes %q — the epoch fails validation with a binding into a missing microprotocol",
+						op.name, h, h.MP.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkReplacement enforces handler continuity: Epoch.Replace rewrites
+// each binding of the predecessor to the successor's handler of the same
+// name and rejects the edit when one is missing. Handlers the package
+// never binds still count — a Replace deployed behind a Bind added later
+// fails the same way, and the successor covering every predecessor
+// handler is the documented upgrade contract.
+func checkReplacement(pass *Pass, call *ast.CallExpr, old, next *Val) {
+	if old == nil || old.Kind != KMP {
+		return
+	}
+	var missing []string
+	for hname := range old.MPHandlers {
+		if next.MPHandlers[hname] == nil {
+			missing = append(missing, hname)
+		}
+	}
+	sort.Strings(missing)
+	for _, hname := range missing {
+		pass.Reportf(call.Pos(),
+			"replacement %s has no handler %q: Replace rewrites %s's bindings by handler name and rejects the edit when one is missing",
+			next, hname, old)
+	}
+}

@@ -1,0 +1,101 @@
+// Package reconfig is golden testdata for the reconfig check:
+// Reconfigure edits that break handler continuity across epochs, bind
+// into microprotocols they remove, or double-edit one name.
+package reconfig
+
+import "repro/internal/core"
+
+type group struct {
+	stack *core.Stack
+	ev    *core.EventType
+}
+
+func build(ctrl core.Controller) *group {
+	g := &group{stack: core.NewStack(ctrl), ev: core.NewEventType("ev")}
+	app := core.NewMicroprotocol("app")
+	hDeliver := app.AddHandler("deliver", func(ctx *core.Context, msg core.Message) error { return nil })
+	app.AddHandler("tick", func(ctx *core.Context, msg core.Message) error { return nil })
+	aux := core.NewMicroprotocol("aux")
+	hAux := aux.AddHandler("audit", func(ctx *core.Context, msg core.Message) error { return nil })
+	g.stack.Register(app, aux)
+	g.stack.Bind(g.ev, hDeliver, hAux)
+	return g
+}
+
+// upgrade swaps in a successor that forgot the tick handler: Replace
+// rewrites bindings by handler name, so the edit is rejected at runtime.
+func (g *group) upgrade() error {
+	next := core.NewMicroprotocol("app@v2")
+	next.AddHandler("deliver", func(ctx *core.Context, msg core.Message) error { return nil })
+	return g.stack.Reconfigure(func(e *core.Epoch) {
+		e.Replace("app", next) // want `replacement app@v2 has no handler "tick"`
+	})
+}
+
+// upgradeComplete carries every predecessor handler: clean.
+func (g *group) upgradeComplete() error {
+	next := core.NewMicroprotocol("app@v3")
+	next.AddHandler("deliver", func(ctx *core.Context, msg core.Message) error { return nil })
+	next.AddHandler("tick", func(ctx *core.Context, msg core.Message) error { return nil })
+	return g.stack.Reconfigure(func(e *core.Epoch) {
+		e.Replace("app", next)
+	})
+}
+
+// retireAux removes a microprotocol and, in the same edit, binds one of
+// its handlers — validation rejects the binding into a missing
+// microprotocol.
+func (g *group) retireAux(hAux *core.Handler) error {
+	return g.stack.Reconfigure(func(e *core.Epoch) {
+		e.Remove("aux")
+		e.Bind(g.ev, hAux) // no finding: hAux's creation site is not resolvable here
+	})
+}
+
+// retireAuxInline shows the same misuse with a resolvable handler.
+func (g *group) retireAuxInline() error {
+	aux2 := core.NewMicroprotocol("aux2")
+	h := aux2.AddHandler("audit", func(ctx *core.Context, msg core.Message) error { return nil })
+	return g.stack.Reconfigure(func(e *core.Epoch) {
+		e.Register(aux2)
+		e.Remove("aux2")
+		e.Bind(g.ev, h) // want `Bind to handler aux2\.audit, but this edit removes "aux2"`
+	})
+}
+
+// freshSlot removes a name and re-registers a new identity under it: the
+// documented fresh-slot idiom, clean.
+func (g *group) freshSlot() error {
+	fresh := core.NewMicroprotocol("aux")
+	h := fresh.AddHandler("audit", func(ctx *core.Context, msg core.Message) error { return nil })
+	return g.stack.Reconfigure(func(e *core.Epoch) {
+		e.Remove("aux")
+		e.Register(fresh)
+		e.Bind(g.ev, h)
+	})
+}
+
+// doubleEdit targets one name twice in one closure: the second operation
+// always fails — the first already took the name out of the epoch.
+func (g *group) doubleEdit(next *core.Microprotocol) error {
+	return g.stack.Reconfigure(func(e *core.Epoch) {
+		e.Remove("app")
+		e.Replace("app", next) // want `Replace "app": the edit already took this name out of the epoch`
+	})
+}
+
+// viaHelper reaches the epoch edit through a helper function: the walk
+// descends into statically resolvable callees, and ReconfigureContext's
+// edit closure sits behind the context argument.
+var nextV4 = core.NewMicroprotocol("app@v4")
+
+func (g *group) viaHelper() error {
+	nextV4.AddHandler("deliver", func(ctx *core.Context, msg core.Message) error { return nil })
+	return g.stack.ReconfigureContext(nil, func(e *core.Epoch) {
+		applySwap(e)
+	})
+}
+
+func applySwap(e *core.Epoch) {
+	e.Replace("app", nextV4) // want `replacement app@v4 has no handler "tick"`
+}

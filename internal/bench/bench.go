@@ -1,5 +1,5 @@
 // Package bench holds the workload generators and experiment runners
-// behind the repository's evaluation (experiments E1–E12 in DESIGN.md /
+// behind the repository's evaluation (experiments E1–E13 in DESIGN.md /
 // EXPERIMENTS.md). The same runners back the root-level testing.B
 // benchmarks and the cmd/samoa-bench harness that prints the paper-style
 // tables.

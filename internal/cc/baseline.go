@@ -32,16 +32,25 @@ func (c *Serial) SetBlocker(b sched.Blocker) {
 }
 
 // Spawn blocks until the stack is quiescent, then admits the computation;
-// a cancelled wait leaves no claim behind.
+// a cancelled wait leaves no claim behind. Admission is FIFO: a spawn
+// that finds the stack busy (or other spawns already parked) parks, and
+// Complete hands the slot to the longest waiter directly. Without the
+// handoff a completing thread that immediately re-spawns wins the freed
+// slot every time — parked spawns starve, and a computation pinned to a
+// superseded epoch can hold that epoch's drain open forever (live
+// reconfiguration's settle would never finish).
 func (c *Serial) Spawn(ctx context.Context, _ *core.Spec) (core.Token, error) {
 	c.mu.Lock()
-	for c.busy {
-		if err := c.note.waitLockedCtx(&c.mu, ctx); err != nil {
-			c.mu.Unlock()
-			return nil, deadline("spawn", nil, err)
-		}
+	if !c.busy && len(c.note.ws) == 0 {
+		c.busy = true
+		c.mu.Unlock()
+		return nil, nil
 	}
-	c.busy = true
+	if err := c.note.waitLockedCtx(&c.mu, ctx); err != nil {
+		c.mu.Unlock()
+		return nil, deadline("spawn", nil, err)
+	}
+	// Woken by Complete's handoff: busy stayed true on our behalf.
 	c.mu.Unlock()
 	return nil, nil
 }
@@ -58,11 +67,13 @@ func (c *Serial) Exit(core.Token, *core.Handler) {}
 // RootReturned implements core.Controller (no-op).
 func (c *Serial) RootReturned(core.Token) {}
 
-// Complete releases the stack for the next computation.
+// Complete releases the stack: the slot transfers to the longest-parked
+// spawn when one exists (busy stays true for it), and frees up otherwise.
 func (c *Serial) Complete(core.Token) {
 	c.mu.Lock()
-	c.busy = false
-	c.note.broadcastLocked()
+	if !c.note.signalLocked() {
+		c.busy = false
+	}
 	c.mu.Unlock()
 }
 

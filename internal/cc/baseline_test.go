@@ -1,6 +1,7 @@
 package cc_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -154,4 +155,64 @@ func TestControllersAcceptAnySpecKind(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSerialSpawnHandoffFIFO pins the anti-barging guarantee: when a
+// computation completes while another spawn is parked, the slot transfers
+// to the parked spawn — a fresh spawn issued right after the Complete
+// queues behind it. Without the handoff, a thread looping
+// spawn→work→complete→spawn re-claims the freed slot every time and
+// parked spawns starve; a starved spawn pinned to a superseded epoch
+// holds that epoch's drain open forever (see live reconfiguration).
+func TestSerialSpawnHandoffFIFO(t *testing.T) {
+	ctrl := cc.NewSerial()
+	ctx := context.Background()
+	tokA, err := ctrl.Spawn(ctx, core.Access())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAdmitted := make(chan struct{})
+	go func() {
+		tokB, err := ctrl.Spawn(ctx, core.Access())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(bAdmitted)
+		ctrl.Complete(tokB)
+	}()
+	time.Sleep(50 * time.Millisecond) // let B park behind A
+	ctrl.Complete(tokA)
+	tokC, err := ctrl.Spawn(ctx, core.Access()) // the barger
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-bAdmitted:
+	default:
+		t.Fatal("a spawn issued after Complete barged ahead of the parked one")
+	}
+	ctrl.Complete(tokC)
+}
+
+// TestSerialCancelledWaiterReleasesSlot: a parked spawn abandoned by its
+// context leaves no claim behind — the handoff skips it and the slot
+// frees normally.
+func TestSerialCancelledWaiterReleasesSlot(t *testing.T) {
+	ctrl := cc.NewSerial()
+	tokA, err := ctrl.Spawn(context.Background(), core.Access())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := ctrl.Spawn(ctx, core.Access()); err == nil {
+		t.Fatal("expired spawn admitted")
+	}
+	ctrl.Complete(tokA)
+	tokB, err := ctrl.Spawn(context.Background(), core.Access())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Complete(tokB)
 }

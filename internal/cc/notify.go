@@ -102,6 +102,26 @@ func (n *notifier) waitLockedCtx(mu *sync.Mutex, ctx context.Context) error {
 	return nil
 }
 
+// signalLocked wakes the longest-parked thread (FIFO) and reports
+// whether there was one. Unlike broadcastLocked, a true return is a
+// transfer: exactly the woken thread left the wait set, so the caller
+// can hand it a claim directly — threads that never park cannot barge in
+// ahead of it. The controller's mutex must be held.
+func (n *notifier) signalLocked() bool {
+	if len(n.ws) == 0 {
+		return false
+	}
+	e := n.ws[0]
+	copy(n.ws, n.ws[1:])
+	n.ws[len(n.ws)-1] = notifyEntry{}
+	n.ws = n.ws[:len(n.ws)-1]
+	if e.c != nil {
+		e.c.done = true // beat the cancellation watchdog to the entry
+	}
+	e.w.Wake()
+	return true
+}
+
 // broadcastLocked wakes every parked thread. The controller's mutex must
 // be held, which orders the wake set against concurrent waitLocked calls.
 func (n *notifier) broadcastLocked() {

@@ -3,6 +3,7 @@ package cc_test
 import (
 	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -44,6 +45,7 @@ func (nopSnap) Restore(any)   {}
 // follow-up computation overlapping the panicked footprint proves the
 // controller released everything.
 type faultFixture struct {
+	ctrl        core.Controller
 	stack       *core.Stack
 	rec         *trace.Recorder
 	mp0, mp1    *core.Microprotocol
@@ -56,11 +58,12 @@ type faultFixture struct {
 	count       atomic.Int64
 	slowEntered atomic.Bool
 	slowRelease atomic.Bool
+	slowBoom    atomic.Bool // hSlow panics (after release) instead of returning
 }
 
 func newFaultFixture(c faultCase) *faultFixture {
-	f := &faultFixture{rec: trace.NewRecorder()}
-	f.stack = core.NewStack(c.new(), core.WithTracer(f.rec))
+	f := &faultFixture{rec: trace.NewRecorder(), ctrl: c.new()}
+	f.stack = core.NewStack(f.ctrl, core.WithTracer(f.rec))
 	f.mp0 = core.NewMicroprotocol("fmp0")
 	f.mp1 = core.NewMicroprotocol("fmp1")
 	f.mp0.SetSnapshotter(nopSnap{})
@@ -81,6 +84,9 @@ func newFaultFixture(c faultCase) *faultFixture {
 		f.slowEntered.Store(true)
 		for !f.slowRelease.Load() {
 			runtime.Gosched()
+		}
+		if f.slowBoom.Load() {
+			panic("late kaboom")
 		}
 		return nil
 	})
@@ -148,6 +154,118 @@ func TestPanicContainedPerController(t *testing.T) {
 			follow := f.spec(c.kind, f.hOk, true).WithTimeout(10 * time.Second)
 			if err := f.stack.External(follow, f.evOk, nil); err != nil {
 				t.Fatalf("follow-up after panic: %v", err)
+			}
+			if f.count.Load() < 2 {
+				t.Fatalf("follow-up ran %d handler bodies, want 2", f.count.Load())
+			}
+			cctest.AssertInvariants(t, f.rec)
+		})
+	}
+}
+
+// TestEpochPinnedFramesRelease: computations begun under epoch N that die
+// abnormally — one by panic, one by deadline — after epoch N+1 installs
+// still release against epoch N's version slots: the old epoch drains
+// with balanced accounting, the controller's retire wait observes the
+// removed slot quiescent, and work on the new epoch (whose replacement
+// slot starts quiescent) is admitted immediately. A stale spec naming the
+// removed microprotocol is rejected with a typed ReconfiguredError.
+func TestEpochPinnedFramesRelease(t *testing.T) {
+	for _, c := range faultCases {
+		c := c
+		if !strings.HasPrefix(c.name, "vca-") {
+			continue // only the version-table controllers are epoch-aware
+		}
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			f := newFaultFixture(c)
+			f.slowBoom.Store(true)
+
+			// A: pinned to epoch 1, wedged inside hSlow holding mp0.
+			aDone := make(chan error, 1)
+			go func() {
+				aDone <- f.stack.External(f.spec(c.kind, f.hSlow, false), f.evSlow, nil)
+			}()
+			for !f.slowEntered.Load() {
+				runtime.Gosched()
+			}
+			// B: pinned to epoch 1, claims mp0+mp1, blocks behind A on mp0
+			// until its deadline fires.
+			bDone := make(chan error, 1)
+			go func() {
+				bDone <- f.stack.External(
+					f.spec(c.kind, f.hOk, true).WithTimeout(300*time.Millisecond), f.evOk, nil)
+			}()
+			ss := f.ctrl.(interface{ SpawnStats() (uint64, uint64) })
+			for {
+				fast, slow := ss.SpawnStats()
+				if fast+slow >= 2 {
+					break // both computations claimed their epoch-1 versions
+				}
+				runtime.Gosched()
+			}
+
+			// Epoch 2: swap fmp1 for a v2 while A wedges and B waits.
+			v2 := core.NewMicroprotocol("fmp1v2")
+			v2ok1 := v2.AddHandler("ok1", func(*core.Context, core.Message) error {
+				f.count.Add(1)
+				return nil
+			})
+			if err := f.stack.Reconfigure(func(e *core.Epoch) { e.Replace("fmp1", v2) }); err != nil {
+				t.Fatalf("Reconfigure: %v", err)
+			}
+			if got := f.stack.CurrentEpoch(); got != 2 {
+				t.Fatalf("CurrentEpoch = %d, want 2", got)
+			}
+
+			// B dies by deadline, A by panic — both against epoch 1.
+			var de *core.DeadlineError
+			if err := <-bDone; !errors.As(err, &de) {
+				t.Fatalf("blocked computation returned %v, want *core.DeadlineError", err)
+			}
+			f.slowRelease.Store(true)
+			var pe *core.PanicError
+			if err := <-aDone; !errors.As(err, &pe) {
+				t.Fatalf("wedged computation returned %v, want *core.PanicError", err)
+			}
+
+			// Epoch 1 retires: every frame it admitted released its slots.
+			select {
+			case <-f.stack.EpochDrained(1):
+			case <-time.After(10 * time.Second):
+				t.Fatal("epoch 1 did not drain after its computations died")
+			}
+			for _, st := range f.stack.EpochStats() {
+				if st.Epoch == 1 {
+					if st.Begun != st.Ended || st.Active != 0 || !st.Retired {
+						t.Fatalf("epoch 1 stats unbalanced: %+v", st)
+					}
+				}
+			}
+			if errs := f.stack.EpochErrs(); len(errs) != 0 {
+				t.Fatalf("epoch errors: %v", errs)
+			}
+			if n := f.stack.DeadEpochDispatches(); n != 0 {
+				t.Fatalf("%d dispatches into a retired epoch", n)
+			}
+
+			// A stale spec naming the removed microprotocol is rejected...
+			var re *core.ReconfiguredError
+			if err := f.stack.External(f.spec(c.kind, f.hOk, true), f.evOk, nil); !errors.As(err, &re) {
+				t.Fatalf("stale spec returned %v, want *core.ReconfiguredError", err)
+			}
+			// ...while the rebuilt spec runs on epoch 2's quiescent slots.
+			var follow *core.Spec
+			switch c.kind {
+			case cctest.KindBound:
+				follow = core.AccessBound(map[*core.Microprotocol]int{f.mp0: 1, v2: 1})
+			case cctest.KindRoute:
+				follow = core.Route(core.NewRouteGraph().Root(f.hOk).Edge(f.hOk, v2ok1))
+			default:
+				follow = core.Access(f.mp0, v2)
+			}
+			if err := f.stack.External(follow.WithTimeout(10*time.Second), f.evOk, nil); err != nil {
+				t.Fatalf("follow-up on new epoch: %v", err)
 			}
 			if f.count.Load() < 2 {
 				t.Fatalf("follow-up ran %d handler bodies, want 2", f.count.Load())

@@ -38,6 +38,15 @@ func (c *VCABasic) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 // the ordered-lock slow path (see DESIGN.md §11).
 func (c *VCABasic) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
 
+// InstallEpoch implements core.Reconfigurer: removed microprotocols stop
+// admitting claims, added ones start quiescent, and cached footprints
+// touching removed slots are re-derived against the new epoch.
+func (c *VCABasic) InstallEpoch(ec core.EpochChange) { c.vt.installEpoch(ec) }
+
+// RetireEpoch implements core.Reconfigurer: removed slots drain to
+// quiescence (lv == gv) before the superseded epoch retires.
+func (c *VCABasic) RetireEpoch(ec core.EpochChange) error { return c.vt.retireEpoch(ec) }
+
 // basicToken carries the computation's claims — one release node per
 // footprint position; nodes[i].target is the private version pv[i].
 type basicToken struct {
@@ -50,9 +59,14 @@ type basicToken struct {
 // slots are quiescent (versionTable.claim). Spawn never blocks, so the
 // context is not consulted.
 func (c *VCABasic) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
-	fp := c.vt.footprint(spec)
+	fp, err := c.vt.footprint(spec)
+	if err != nil {
+		return nil, err
+	}
 	t := &basicToken{fp: fp, nodes: make([]relNode, len(fp.slots))}
-	c.vt.claim(fp, t.nodes)
+	if err := c.vt.claim(fp, t.nodes); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

@@ -43,6 +43,12 @@ func (c *VCABound) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 // the ordered-lock slow path (see DESIGN.md §11).
 func (c *VCABound) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
 
+// InstallEpoch implements core.Reconfigurer (see versionTable.installEpoch).
+func (c *VCABound) InstallEpoch(ec core.EpochChange) { c.vt.installEpoch(ec) }
+
+// RetireEpoch implements core.Reconfigurer (see versionTable.retireEpoch).
+func (c *VCABound) RetireEpoch(ec core.EpochChange) error { return c.vt.retireEpoch(ec) }
+
 // boundToken carries the computation's claims and consumed visit counts,
 // parallel to the spec's compiled footprint. nodes[i].target is pv[i];
 // nodes[i].minLv is pv[i]−bound[i], the admission window's lower edge.
@@ -60,7 +66,10 @@ func (c *VCABound) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 	if !spec.HasBounds() {
 		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no visit bounds; build it with core.AccessBound"}
 	}
-	fp := c.vt.footprint(spec)
+	fp, err := c.vt.footprint(spec)
+	if err != nil {
+		return nil, err
+	}
 	for i, b := range fp.bounds {
 		if b == 0 {
 			return nil, &core.SpecError{Controller: c.Name(), Reason: "non-positive bound for microprotocol " + fp.mps[i].Name()}
@@ -71,7 +80,9 @@ func (c *VCABound) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 		nodes:     make([]relNode, len(fp.slots)),
 		requested: make([]uint64, len(fp.slots)),
 	}
-	c.vt.claim(fp, t.nodes)
+	if err := c.vt.claim(fp, t.nodes); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

@@ -54,6 +54,12 @@ func (c *VCARoute) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 // the ordered-lock slow path (see DESIGN.md §11).
 func (c *VCARoute) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
 
+// InstallEpoch implements core.Reconfigurer (see versionTable.installEpoch).
+func (c *VCARoute) InstallEpoch(ec core.EpochChange) { c.vt.installEpoch(ec) }
+
+// RetireEpoch implements core.Reconfigurer (see versionTable.retireEpoch).
+func (c *VCARoute) RetireEpoch(ec core.EpochChange) error { return c.vt.retireEpoch(ec) }
+
 type routeToken struct {
 	mu         sync.Mutex
 	fp         *footprint
@@ -75,7 +81,10 @@ func (c *VCARoute) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 	if spec.Graph() == nil {
 		return nil, &core.SpecError{Controller: c.Name(), Reason: "spec carries no routing graph; build it with core.Route"}
 	}
-	fp := c.vt.footprint(spec)
+	fp, err := c.vt.footprint(spec)
+	if err != nil {
+		return nil, err
+	}
 	nv := len(fp.route.handlers)
 	t := &routeToken{
 		fp:         fp,
@@ -89,7 +98,9 @@ func (c *VCARoute) Spawn(_ context.Context, spec *core.Spec) (core.Token, error)
 	for v := range t.present {
 		t.present[v] = true
 	}
-	c.vt.claim(fp, t.nodes)
+	if err := c.vt.claim(fp, t.nodes); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

@@ -62,6 +62,12 @@ func (c *VCARW) SetBlocker(b sched.Blocker) { c.vt.setBlocker(b) }
 // slow-path (ordered-lock) spawn by design, so fast is always 0.
 func (c *VCARW) SpawnStats() (fast, slow uint64) { return c.vt.spawnStats() }
 
+// InstallEpoch implements core.Reconfigurer (see versionTable.installEpoch).
+func (c *VCARW) InstallEpoch(ec core.EpochChange) { c.vt.installEpoch(ec) }
+
+// RetireEpoch implements core.Reconfigurer (see versionTable.retireEpoch).
+func (c *VCARW) RetireEpoch(ec core.EpochChange) error { return c.vt.retireEpoch(ec) }
+
 // rwToken carries the computation's claims parallel to the spec's
 // compiled footprint (nodes[i].target is pv[i]); reader-ness comes from
 // the footprint itself.
@@ -104,10 +110,21 @@ func readerOf(spec *core.Spec, mp *core.Microprotocol) bool {
 // the open reader group or take a fresh version. It never blocks on
 // admission, so the context is not consulted.
 func (c *VCARW) Spawn(_ context.Context, spec *core.Spec) (core.Token, error) {
-	fp := c.vt.footprint(spec)
+	fp, err := c.vt.footprint(spec)
+	if err != nil {
+		return nil, err
+	}
 	t := &rwToken{fp: fp, nodes: make([]relNode, len(fp.slots))}
 	for _, p := range fp.lockOrder {
 		fp.states[p].spawnMu.Lock()
+	}
+	for _, st := range fp.states {
+		if err := st.gone.Load(); err != nil {
+			for _, p := range fp.lockOrder {
+				fp.states[p].spawnMu.Unlock()
+			}
+			return nil, err
+		}
 	}
 	for i, st := range fp.states {
 		rw := st.rw

@@ -71,6 +71,14 @@ type mpState struct {
 	relq     atomic.Pointer[relNode]
 	draining atomic.Uint32
 
+	// gone is non-nil once a live reconfiguration removed this slot's
+	// microprotocol: new claims are rejected with the stored error (one
+	// preallocated per removal, so the rejection path allocates nothing).
+	// Claims already holding the slot release normally — retireEpoch's
+	// drain waits for exactly that. A later epoch re-adding the same
+	// microprotocol clears the marker; the slot resumes where it left off.
+	gone atomic.Pointer[core.ReconfiguredError]
+
 	// rw is VCARW's reader-group bookkeeping for this slot, created
 	// lazily. Nil for every other controller.
 	rw *rwState //samoa:guard spawnMu — created and mutated only under the slot's spawnMu
@@ -334,7 +342,13 @@ type versionTable struct {
 	index  map[*core.Microprotocol]int // mp → dense slot; grows under mu
 	states []*mpState                  // by dense slot; pointers are stable
 
-	footprints sync.Map // *core.Spec → *footprint, compiled once per spec
+	// retired maps a microprotocol removed by reconfiguration to its
+	// rejection error, so a spec naming it fails at compile time even if
+	// the table never assigned it a slot. Added-back microprotocols are
+	// deleted again. Guarded by mu; nil until the first removal.
+	retired map[*core.Microprotocol]*core.ReconfiguredError
+
+	footprints sync.Map // *core.Spec → *footprint, compiled per epoch (invalidated on removal)
 
 	// fastEmpty counts fast-path spawns of empty footprints (no slot to
 	// charge them to); slowSpawns counts ordered-lock spawns. Slot-charged
@@ -400,11 +414,23 @@ func (vt *versionTable) slotLocked(mp *core.Microprotocol) int {
 // post-claim gv (the private version pv, and the lv value its release
 // will install). The same nodes are later pushed to the slots' release
 // stacks by Complete, so rule 3 allocates nothing.
-func (vt *versionTable) claim(fp *footprint, nodes []relNode) {
-	if vt.claimFast(fp, nodes) {
-		return
+//
+// A slot whose microprotocol a reconfiguration has removed rejects the
+// claim with the removal's preallocated ReconfiguredError — the caller
+// raced an epoch swap and must rebuild its spec against the new epoch.
+// The check costs one pointer load per slot on the fast path; the slow
+// path re-checks under the admission locks, so a claim that loses the
+// race with InstallEpoch cannot slip a new version onto a retiring slot.
+func (vt *versionTable) claim(fp *footprint, nodes []relNode) error {
+	for _, st := range fp.states {
+		if err := st.gone.Load(); err != nil {
+			return err
+		}
 	}
-	vt.claimSlow(fp, nodes)
+	if vt.claimFast(fp, nodes) {
+		return nil
+	}
+	return vt.claimSlow(fp, nodes)
 }
 
 // claimFast is the lock-free admission path: it succeeds only when every
@@ -460,9 +486,17 @@ func (vt *versionTable) unclaim(fp *footprint, nodes []relNode, n int) {
 // sections cannot overlap, so cross-slot version orders cannot cycle),
 // then release. Disjoint spawns that both fall here still proceed in
 // parallel: they share no slot, hence no lock.
-func (vt *versionTable) claimSlow(fp *footprint, nodes []relNode) {
+func (vt *versionTable) claimSlow(fp *footprint, nodes []relNode) error {
 	for _, p := range fp.lockOrder {
 		fp.states[p].spawnMu.Lock()
+	}
+	for _, st := range fp.states {
+		if err := st.gone.Load(); err != nil {
+			for _, p := range fp.lockOrder {
+				fp.states[p].spawnMu.Unlock()
+			}
+			return err
+		}
 	}
 	for i, st := range fp.states {
 		g := st.gv.Add(fp.deltas[i])
@@ -472,6 +506,95 @@ func (vt *versionTable) claimSlow(fp *footprint, nodes []relNode) {
 		fp.states[p].spawnMu.Unlock()
 	}
 	vt.slowSpawns.Add(1)
+	return nil
+}
+
+// installEpoch is the synchronous half of the table's core.Reconfigurer
+// support, run inside Reconfigure right after the new epoch is published.
+// Removed microprotocols stop admitting: their slots get the removal's
+// preallocated rejection error, and the retired map catches specs naming
+// them that the table has never compiled. A replacement continues its
+// predecessor's slot — both microprotocols index the same mpState, so
+// old-epoch computations still holding the old version serialize against
+// new-epoch claims and the two versions may share state across the swap —
+// while specs still naming the old side are rejected like removals.
+// Re-added microprotocols are un-marked and resume their version chain.
+// Compiled footprints touching a removed or replaced microprotocol are
+// dropped from the cache, so the footprints and lock orders live specs
+// see are always re-derived against the new epoch (a plain addition gets
+// a fresh slot, which starts quiescent: lv == gv == 0).
+func (vt *versionTable) installEpoch(ec core.EpochChange) {
+	stale := make(map[*core.Microprotocol]bool, len(ec.Removed)+len(ec.Replaced))
+	vt.mu.Lock()
+	if vt.retired == nil && len(ec.Removed)+len(ec.Replaced) > 0 {
+		vt.retired = make(map[*core.Microprotocol]*core.ReconfiguredError)
+	}
+	for _, mp := range ec.Removed {
+		err := &core.ReconfiguredError{MP: mp.Name(), Epoch: ec.Epoch}
+		vt.retired[mp] = err
+		stale[mp] = true
+		if i, ok := vt.index[mp]; ok {
+			vt.states[i].gone.Store(err)
+		}
+	}
+	for _, r := range ec.Replaced {
+		vt.retired[r.Old] = &core.ReconfiguredError{MP: r.Old.Name(), Epoch: ec.Epoch}
+		stale[r.Old] = true
+		delete(vt.retired, r.New)
+		if i, ok := vt.index[r.Old]; ok {
+			vt.index[r.New] = i // continue the version chain under the new mp
+		}
+	}
+	for _, mp := range ec.Added {
+		delete(vt.retired, mp)
+		if i, ok := vt.index[mp]; ok {
+			vt.states[i].gone.Store(nil)
+		}
+	}
+	vt.mu.Unlock()
+	if len(stale) == 0 {
+		return
+	}
+	vt.footprints.Range(func(k, v any) bool {
+		fp := v.(*footprint)
+		for _, mp := range fp.mps {
+			if stale[mp] {
+				vt.footprints.Delete(k)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// retireEpoch is the asynchronous half, run once the superseded epoch's
+// last computation has exited: every removed slot is drained to
+// quiescence (lv == gv — each claim that beat the removal's install has
+// released) before the epoch retires. The stabilization loop re-reads gv
+// after the wait so a straggler claim that raced the gone-marker cannot
+// be missed; gone stops new admissions, so the loop terminates. In
+// practice the wait is already satisfied when retirement fires — the old
+// epoch's computations completed, and completion pushed their releases.
+func (vt *versionTable) retireEpoch(ec core.EpochChange) error {
+	for _, mp := range ec.Removed {
+		vt.mu.Lock()
+		var st *mpState
+		if i, ok := vt.index[mp]; ok {
+			st = vt.states[i]
+		}
+		vt.mu.Unlock()
+		if st == nil {
+			continue // never claimed: trivially quiescent
+		}
+		for st.gone.Load() != nil { // a later epoch re-adding mp ends the drain
+			g := st.gv.Load()
+			st.waitAtLeast(g)
+			if st.gv.Load() == g && st.lv.Load() == g {
+				break
+			}
+		}
+	}
+	return nil
 }
 
 // footprint is a Spec compiled against one versionTable: for each
@@ -519,17 +642,22 @@ type routeInfo struct {
 	mpVerts  [][]int // footprint position → vertex indices
 }
 
-// footprint returns (compiling on first use) spec's footprint.
-func (vt *versionTable) footprint(spec *core.Spec) *footprint {
+// footprint returns (compiling on first use) spec's footprint. A spec
+// naming a microprotocol removed by reconfiguration fails with the
+// removal's ReconfiguredError instead of compiling.
+func (vt *versionTable) footprint(spec *core.Spec) (*footprint, error) {
 	if fp, ok := vt.footprints.Load(spec); ok {
-		return fp.(*footprint)
+		return fp.(*footprint), nil
 	}
-	fp := vt.compile(spec)
+	fp, err := vt.compile(spec)
+	if err != nil {
+		return nil, err
+	}
 	actual, _ := vt.footprints.LoadOrStore(spec, fp)
-	return actual.(*footprint)
+	return actual.(*footprint), nil
 }
 
-func (vt *versionTable) compile(spec *core.Spec) *footprint {
+func (vt *versionTable) compile(spec *core.Spec) (*footprint, error) {
 	mps := spec.MPs()
 	fp := &footprint{
 		mps:       mps,
@@ -542,6 +670,10 @@ func (vt *versionTable) compile(spec *core.Spec) *footprint {
 	}
 	vt.mu.Lock()
 	for i, mp := range mps {
+		if err := vt.retired[mp]; err != nil {
+			vt.mu.Unlock()
+			return nil, err
+		}
 		slot := vt.slotLocked(mp)
 		fp.slots[i] = slot
 		fp.states[i] = vt.states[slot]
@@ -564,7 +696,7 @@ func (vt *versionTable) compile(spec *core.Spec) *footprint {
 	if g := spec.Graph(); g != nil {
 		fp.route = compileRoute(g, fp)
 	}
-	return fp
+	return fp, nil
 }
 
 func compileRoute(g *core.RouteGraph, fp *footprint) *routeInfo {

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -230,8 +231,8 @@ func TestFootprintCompiledOnce(t *testing.T) {
 	p := core.NewMicroprotocol("p")
 	q := core.NewMicroprotocol("q")
 	spec := core.AccessBound(map[*core.Microprotocol]int{p: 2, q: 3})
-	fp1 := vt.footprint(spec)
-	fp2 := vt.footprint(spec)
+	fp1 := mustFootprint(t, vt, spec)
+	fp2 := mustFootprint(t, vt, spec)
 	if fp1 != fp2 {
 		t.Fatal("footprint must be compiled once per spec")
 	}
@@ -255,13 +256,29 @@ func TestFootprintCompiledOnce(t *testing.T) {
 // --- claim protocol: sharded admission, CAS fast path, group commit
 // (DESIGN.md §11) ---
 
+func mustFootprint(t *testing.T, vt *versionTable, spec *core.Spec) *footprint {
+	t.Helper()
+	fp, err := vt.footprint(spec)
+	if err != nil {
+		t.Fatalf("footprint: %v", err)
+	}
+	return fp
+}
+
+func mustClaim(t *testing.T, vt *versionTable, fp *footprint, nodes []relNode) {
+	t.Helper()
+	if err := vt.claim(fp, nodes); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+}
+
 func TestClaimFastOnQuiescentSlots(t *testing.T) {
 	vt := newVersionTable()
 	p := core.NewMicroprotocol("p")
 	q := core.NewMicroprotocol("q")
-	fp := vt.footprint(core.Access(p, q))
+	fp := mustFootprint(t, vt, core.Access(p, q))
 	nodes := make([]relNode, 2)
-	vt.claim(fp, nodes)
+	mustClaim(t, vt, fp, nodes)
 	for i := range nodes {
 		if nodes[i].minLv != 0 || nodes[i].target != 1 {
 			t.Fatalf("nodes[%d] = %+v, want {0 1}", i, nodes[i])
@@ -279,11 +296,11 @@ func TestClaimFallsBackWhenInFlight(t *testing.T) {
 	vt := newVersionTable()
 	p := core.NewMicroprotocol("p")
 	q := core.NewMicroprotocol("q")
-	fp := vt.footprint(core.Access(p, q))
+	fp := mustFootprint(t, vt, core.Access(p, q))
 	n1 := make([]relNode, 2)
 	n2 := make([]relNode, 2)
-	vt.claim(fp, n1) // quiescent table: fast
-	vt.claim(fp, n2) // n1 in flight on both slots: ordered-lock slow path
+	mustClaim(t, vt, fp, n1) // quiescent table: fast
+	mustClaim(t, vt, fp, n2) // n1 in flight on both slots: ordered-lock slow path
 	for i := range n2 {
 		if n2[i].minLv != 1 || n2[i].target != 2 {
 			t.Fatalf("n2[%d] = %+v, want {1 2} (ordered after n1)", i, n2[i])
@@ -300,7 +317,7 @@ func TestClaimFallsBackWhenInFlight(t *testing.T) {
 		fp.states[i].requestNode(&n2[i])
 	}
 	n3 := make([]relNode, 2)
-	vt.claim(fp, n3)
+	mustClaim(t, vt, fp, n3)
 	if fast, slow := vt.spawnStats(); fast != 2 || slow != 1 {
 		t.Fatalf("stats fast=%d slow=%d, want 2/1", fast, slow)
 	}
@@ -313,7 +330,7 @@ func TestUnclaimRollsBackUntouchedClaims(t *testing.T) {
 	vt := newVersionTable()
 	p := core.NewMicroprotocol("p")
 	q := core.NewMicroprotocol("q")
-	fp := vt.footprint(core.Access(p, q))
+	fp := mustFootprint(t, vt, core.Access(p, q))
 	nodes := make([]relNode, 2)
 	if !vt.claimFast(fp, nodes) {
 		t.Fatal("claimFast on a fresh table must succeed")
@@ -332,7 +349,7 @@ func TestUnclaimRollsBackUntouchedClaims(t *testing.T) {
 func TestUnclaimPhantomWhenBuiltUpon(t *testing.T) {
 	vt := newVersionTable()
 	p := core.NewMicroprotocol("p")
-	fp := vt.footprint(core.Access(p))
+	fp := mustFootprint(t, vt, core.Access(p))
 	nodes := make([]relNode, 1)
 	if !vt.claimFast(fp, nodes) {
 		t.Fatal("claimFast on a fresh table must succeed")
@@ -350,6 +367,138 @@ func TestUnclaimPhantomWhenBuiltUpon(t *testing.T) {
 	st.request(1, 2)
 	if gv, lv := st.gv.Load(), st.lv.Load(); gv != 2 || lv != 2 {
 		t.Fatalf("after stacked release: gv=%d lv=%d, want 2/2", gv, lv)
+	}
+}
+
+// --- epoch-aware admission: install marks, retire drains (live
+// reconfiguration, DESIGN.md §15) ---
+
+// TestInstallEpochStopsAdmission: after installEpoch removes a
+// microprotocol, both admission paths reject claims on its slot with the
+// removal's typed error, in-flight claims release normally, retireEpoch
+// drains the slot to quiescence, and a spec naming the removed
+// microprotocol no longer compiles.
+func TestInstallEpochStopsAdmission(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	q := core.NewMicroprotocol("q")
+	fp := mustFootprint(t, vt, core.Access(p, q))
+	held := make([]relNode, 2)
+	mustClaim(t, vt, fp, held) // in flight across the removal
+
+	vt.installEpoch(core.EpochChange{Epoch: 2, Removed: []*core.Microprotocol{q}})
+
+	var re *core.ReconfiguredError
+	nodes := make([]relNode, 2)
+	if err := vt.claim(fp, nodes); !errors.As(err, &re) || re.MP != "q" || re.Epoch != 2 {
+		t.Fatalf("claim after removal = %v, want ReconfiguredError{q, 2}", err)
+	}
+	// The slow path under the admission locks rejects too.
+	if err := vt.claimSlow(fp, nodes); !errors.As(err, &re) {
+		t.Fatalf("claimSlow after removal = %v, want ReconfiguredError", err)
+	}
+	// The compiled footprint was invalidated, and recompiling fails
+	// because the spec names the removed microprotocol.
+	if _, ok := vt.footprints.Load(core.Access(p, q)); ok {
+		t.Fatal("footprint touching a removed slot must leave the cache")
+	}
+	if _, err := vt.footprint(core.Access(q)); !errors.As(err, &re) {
+		t.Fatalf("footprint naming removed mp = %v, want ReconfiguredError", err)
+	}
+	// A disjoint spec is untouched.
+	fpP := mustFootprint(t, vt, core.Access(p))
+
+	// The in-flight claim releases; the retire drain then observes
+	// quiescence and returns.
+	for i := range held {
+		fp.states[i].requestNode(&held[i])
+	}
+	if err := vt.retireEpoch(core.EpochChange{Epoch: 2, Removed: []*core.Microprotocol{q}}); err != nil {
+		t.Fatalf("retireEpoch: %v", err)
+	}
+	st := fp.states[1]
+	if g, l := st.gv.Load(), st.lv.Load(); g != l {
+		t.Fatalf("removed slot not quiescent after retire: gv=%d lv=%d", g, l)
+	}
+	// The surviving slot keeps admitting.
+	one := make([]relNode, 1)
+	mustClaim(t, vt, fpP, one)
+}
+
+// TestInstallEpochReAddResumes: a later epoch re-adding a removed
+// microprotocol clears the rejection marker and the slot resumes its
+// version chain where it left off.
+func TestInstallEpochReAddResumes(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	fp := mustFootprint(t, vt, core.Access(p))
+	n1 := make([]relNode, 1)
+	mustClaim(t, vt, fp, n1)
+	fp.states[0].requestNode(&n1[0])
+
+	vt.installEpoch(core.EpochChange{Epoch: 2, Removed: []*core.Microprotocol{p}})
+	if err := vt.claim(fp, n1); err == nil {
+		t.Fatal("claim on removed slot must fail")
+	}
+	vt.installEpoch(core.EpochChange{Epoch: 3, Added: []*core.Microprotocol{p}})
+
+	fp2 := mustFootprint(t, vt, core.Access(p))
+	n2 := make([]relNode, 1)
+	mustClaim(t, vt, fp2, n2)
+	if n2[0].minLv != 1 || n2[0].target != 2 {
+		t.Fatalf("re-added slot claim = %+v, want {1 2} (chain resumed)", n2[0])
+	}
+}
+
+// TestInstallEpochReplaceContinuesSlot: a replacement microprotocol
+// inherits its predecessor's version slot, so a claim through the new
+// identity serializes behind an in-flight claim still holding the old
+// one — the version chain continues across the swap instead of forking
+// into an independent quiescent slot. Specs still naming the old side
+// are rejected like removals, and no drain is owed for the pair.
+func TestInstallEpochReplaceContinuesSlot(t *testing.T) {
+	vt := newVersionTable()
+	p := core.NewMicroprotocol("p")
+	fp := mustFootprint(t, vt, core.Access(p))
+	n1 := make([]relNode, 1)
+	mustClaim(t, vt, fp, n1) // in-flight: holds version 1
+
+	p2 := core.NewMicroprotocol("p2")
+	ec := core.EpochChange{Epoch: 2, Replaced: []core.ReplacedMP{{Old: p, New: p2}}}
+	vt.installEpoch(ec)
+
+	// Specs naming the old identity are rejected at (re)compile: the
+	// swap invalidated the cached footprint, and the retired map catches
+	// the rebuild. (A claim racing the install through an already-compiled
+	// footprint is tolerated — it serializes on the shared slot, so
+	// isolation holds either way.)
+	var re *core.ReconfiguredError
+	if _, err := vt.footprint(core.Access(p)); !errors.As(err, &re) {
+		t.Fatalf("compiling spec naming replaced-out mp: err = %v, want ReconfiguredError", err)
+	} else if re.MP != "p" || re.Epoch != 2 {
+		t.Fatalf("ReconfiguredError = %+v, want {p 2}", re)
+	}
+
+	// The new identity continues the chain: its claim lands behind the
+	// in-flight version 1, not at a fresh quiescent slot.
+	fp2 := mustFootprint(t, vt, core.Access(p2))
+	if fp2.states[0] != fp.states[0] {
+		t.Fatal("replacement must share its predecessor's version slot")
+	}
+	n2 := make([]relNode, 1)
+	mustClaim(t, vt, fp2, n2)
+	if n2[0].minLv != 1 || n2[0].target != 2 {
+		t.Fatalf("replacement claim = %+v, want {1 2} (chain continued)", n2[0])
+	}
+	// No drain owed: the slot lives on under the new identity even while
+	// both claims are still outstanding.
+	if err := vt.retireEpoch(ec); err != nil {
+		t.Fatalf("retireEpoch: %v", err)
+	}
+	fp.states[0].requestNode(&n1[0])
+	fp2.states[0].requestNode(&n2[0])
+	if lv, gv := fp2.states[0].localVersion(), fp2.states[0].gv.Load(); lv != 2 || gv != 2 {
+		t.Fatalf("slot lv/gv = %d/%d after releases, want 2/2", lv, gv)
 	}
 }
 

@@ -155,27 +155,13 @@ func newFixtureSched(cfg Config, m int, sc *sched.Scheduler) *fixture {
 	f.counters = make([]int, m)
 	f.snaps = make([]*snapState, m)
 	for i := 0; i < m; i++ {
-		i := i
 		mp := core.NewMicroprotocol(fmt.Sprintf("cmp%d", i))
 		if cfg.Snapshot {
 			st := &snapState{}
 			f.snaps[i] = st
 			mp.SetSnapshotter(st)
 		}
-		h := mp.AddHandler("visit", func(ctx *core.Context, msg core.Message) error {
-			s := msg.(*script)
-			if f.snaps[i] != nil {
-				f.snaps[i].v++
-			} else {
-				v := f.counters[i]
-				f.yield()
-				f.counters[i] = v + 1
-			}
-			if s.pos+1 < len(s.seq) {
-				return ctx.Trigger(f.events[s.seq[s.pos+1]], &script{seq: s.seq, pos: s.pos + 1})
-			}
-			return nil
-		})
+		h := mp.AddHandler("visit", f.visit(i))
 		f.mps = append(f.mps, mp)
 		f.handlers = append(f.handlers, h)
 		f.events = append(f.events, core.NewEventType(fmt.Sprintf("cev%d", i)))
@@ -185,6 +171,66 @@ func newFixtureSched(cfg Config, m int, sc *sched.Scheduler) *fixture {
 		f.stack.Bind(f.events[i], f.handlers[i])
 	}
 	return f
+}
+
+// visit is the counter handler body for microprotocol i: the deliberately
+// racy read–yield–write increment, then the script's next hop. Factored
+// out so swapMP can give a replacement microprotocol the exact same
+// behaviour against the same counter.
+func (f *fixture) visit(i int) core.HandlerFunc {
+	return func(ctx *core.Context, msg core.Message) error {
+		s := msg.(*script)
+		if f.snaps[i] != nil {
+			f.snaps[i].v++
+		} else {
+			v := f.counters[i]
+			f.yield()
+			f.counters[i] = v + 1
+		}
+		if s.pos+1 < len(s.seq) {
+			return ctx.Trigger(f.events[s.seq[s.pos+1]], &script{seq: s.seq, pos: s.pos + 1})
+		}
+		return nil
+	}
+}
+
+// swapMP live-replaces counter microprotocol i with a same-behaviour
+// successor while computations are running. Replace keeps the successor
+// on its predecessor's version slot, so the two versions racing on the
+// shared counter across the swap is exactly what the lost-update check
+// exercises. The fixture's mp/handler tables are republished only after
+// the swap installs: computations that compiled a spec against the old
+// identity in the window get ReconfiguredError and retry (runScript).
+func (f *fixture) swapMP(i int) error {
+	next := core.NewMicroprotocol(fmt.Sprintf("cmp%dv2", i))
+	if f.snaps[i] != nil {
+		next.SetSnapshotter(f.snaps[i])
+	}
+	h := next.AddHandler("visit", f.visit(i))
+	if err := f.stack.Reconfigure(func(e *core.Epoch) {
+		e.Replace(f.mps[i].Name(), next)
+	}); err != nil {
+		return err
+	}
+	f.mps[i] = next
+	f.handlers[i] = h
+	return nil
+}
+
+// runScript runs one script computation, retrying when its spec raced a
+// reconfiguration: ReconfiguredError means "rebuild the spec and retry",
+// and the rebuild picks up the replacement identity once swapMP has
+// republished it. The yield between attempts is a scheduling decision
+// point under exploration, so the retry loop cannot starve the swap task.
+func (f *fixture) runScript(kind Kind, seq []int) error {
+	for tries := 0; ; tries++ {
+		err := f.stack.External(f.spec(kind, seq), f.events[seq[0]], &script{seq: seq})
+		var re *core.ReconfiguredError
+		if !errors.As(err, &re) || tries >= 8 {
+			return err
+		}
+		f.yield()
+	}
 }
 
 func (f *fixture) spec(kind Kind, seq []int) *core.Spec {

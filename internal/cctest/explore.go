@@ -21,11 +21,16 @@ import (
 // exact interleaving, deterministically.
 
 // Workload is one small explored scenario: M counter microprotocols and
-// one computation per script, each script a chain of visits.
+// one computation per script, each script a chain of visits. Swap adds
+// one more task that live-replaces mp0 mid-workload (Stack.Reconfigure
+// with Epoch.Replace), so every interleaving of the epoch swap against
+// spawns, releases, and in-flight chains is explored alongside the
+// scripts.
 type Workload struct {
 	Name    string
 	M       int
 	Scripts [][]int
+	Swap    bool
 }
 
 // Workloads returns the explored scenario set. Deliberately tiny:
@@ -36,6 +41,20 @@ func Workloads() []Workload {
 		{Name: "2comps-1mp", M: 1, Scripts: [][]int{{0}, {0}}},
 		{Name: "2comps-cross", M: 2, Scripts: [][]int{{0, 1}, {1, 0}}},
 		{Name: "3comps-mixed", M: 2, Scripts: [][]int{{0, 0}, {1, 0}, {1}}},
+	}
+}
+
+// SwapWorkloads returns the reconfiguration scenario set: the same tiny
+// script shapes, each raced against a live replacement of mp0. The
+// lost-update check stays meaningful across the swap because Replace
+// continues the predecessor's version slot — an interleaving where the
+// old and new versions of mp0 both increment counter 0 unserialised
+// would be reported, not masked by the reconfiguration.
+func SwapWorkloads() []Workload {
+	return []Workload{
+		{Name: "swap-2comps-1mp", M: 1, Scripts: [][]int{{0}, {0}}, Swap: true},
+		{Name: "swap-2comps-cross", M: 2, Scripts: [][]int{{0, 1}, {1, 0}}, Swap: true},
+		{Name: "swap-3comps-mixed", M: 2, Scripts: [][]int{{0, 0}, {1, 0}, {1}}, Swap: true},
 	}
 }
 
@@ -55,6 +74,8 @@ type ExploreConfig struct {
 	Runs int
 	// MaxSteps bounds scheduling decisions per execution (0: default).
 	MaxSteps int
+	// Workloads overrides the explored scenario set (default Workloads()).
+	Workloads []Workload
 }
 
 // runSpec builds one deterministically-scheduled execution of wl,
@@ -74,9 +95,15 @@ func runSpec(cfg ExploreConfig, wl Workload, s *sched.Scheduler) (sched.RunSpec,
 			for _, seq := range wl.Scripts {
 				seq := seq
 				s.Go(func() {
-					err := f.stack.External(f.spec(cfg.Kind, seq), f.events[seq[0]], &script{seq: seq})
-					if err != nil {
+					if err := f.runScript(cfg.Kind, seq); err != nil {
 						errs = append(errs, err)
+					}
+				})
+			}
+			if wl.Swap {
+				s.Go(func() {
+					if err := f.swapMP(0); err != nil {
+						errs = append(errs, fmt.Errorf("swap: %w", err))
 					}
 				})
 			}
@@ -98,6 +125,9 @@ func runSpec(cfg ExploreConfig, wl Workload, s *sched.Scheduler) (sched.RunSpec,
 				return fmt.Errorf("lifecycle imbalance: %d spawned, %d completed, %d aborted",
 					st.Spawned, st.Completed, st.Aborted)
 			}
+			if wl.Swap {
+				return checkSwapped(f)
+			}
 			return nil
 		},
 		// No StateHash: DFS pruning needs the hash to capture the FULL
@@ -106,6 +136,29 @@ func runSpec(cfg ExploreConfig, wl Workload, s *sched.Scheduler) (sched.RunSpec,
 		// unsoundly. These workloads are small enough to explore unpruned.
 	}
 	return spec, f
+}
+
+// checkSwapped asserts the epoch machinery converged by the end of a
+// swap workload: the stack is on epoch 2, the superseded epoch drained
+// inline with the last exiting computation, retirement recorded no
+// lifecycle or controller error, and nothing dispatched into the dead
+// epoch.
+func checkSwapped(f *fixture) error {
+	if got := f.stack.CurrentEpoch(); got != 2 {
+		return fmt.Errorf("epoch %d after swap workload, want 2", got)
+	}
+	select {
+	case <-f.stack.EpochDrained(1):
+	default:
+		return fmt.Errorf("epoch 1 not drained although all computations completed")
+	}
+	if errs := f.stack.EpochErrs(); len(errs) > 0 {
+		return fmt.Errorf("epoch error: %w", errs[0])
+	}
+	if n := f.stack.DeadEpochDispatches(); n != 0 {
+		return fmt.Errorf("%d dispatches into a retired epoch", n)
+	}
+	return nil
 }
 
 // ExploreWorkload explores one workload under the config's strategy.
@@ -142,7 +195,11 @@ func ReplayWorkload(cfg ExploreConfig, wl Workload, token string) (string, error
 // violation, printing its replay token.
 func Explore(t *testing.T, cfg ExploreConfig) {
 	t.Helper()
-	for _, wl := range Workloads() {
+	wls := cfg.Workloads
+	if wls == nil {
+		wls = Workloads()
+	}
+	for _, wl := range wls {
 		wl := wl
 		t.Run(wl.Name, func(t *testing.T) {
 			res := ExploreWorkload(cfg, wl)

@@ -70,6 +70,43 @@ func TestExploreIsolatingControllers(t *testing.T) {
 	}
 }
 
+// TestExploreReconfigure model-checks live reconfiguration: every
+// interleaving of an epoch swap (Epoch.Replace of mp0) against spawns,
+// releases, and in-flight chains must preserve serializability, lose no
+// update on the counter the replaced pair shares, keep lifecycle balance,
+// and leave the superseded epoch drained with no errors and no dead-epoch
+// dispatches. Targets are the swap-safe controllers: the four epoch-aware
+// version tables (core.Reconfigurer) plus serial, which admits one
+// computation at a time and so cannot race a swap.
+func TestExploreReconfigure(t *testing.T) {
+	for _, tgt := range exploreTargets() {
+		tgt := tgt
+		if _, ok := tgt.neW().(core.Reconfigurer); !ok && tgt.name != "serial" {
+			continue
+		}
+		t.Run(tgt.name, func(t *testing.T) {
+			for sname, mk := range strategies() {
+				mk := mk
+				t.Run(sname, func(t *testing.T) {
+					runs := 60
+					if sname == "dfs" {
+						runs = 400
+					}
+					cctest.Explore(t, cctest.ExploreConfig{
+						New:       tgt.neW,
+						Kind:      tgt.kind,
+						Snapshot:  tgt.snapshot,
+						Strategy:  mk,
+						Runs:      runs,
+						MaxSteps:  20000,
+						Workloads: cctest.SwapWorkloads(),
+					})
+				})
+			}
+		})
+	}
+}
+
 // TestExploreNoneFindsViolation is the negative control: the Cactus
 // baseline enforces nothing, so bounded DFS must find a serializability
 // or lost-update violation — and its schedule token must replay to the

@@ -58,6 +58,11 @@ type DConfig struct {
 	StepPause time.Duration
 	// SettleTimeout bounds post-heal convergence (default 30s).
 	SettleTimeout time.Duration
+	// Upgrades is the number of mid-storm protocol-version bumps
+	// (Site.ProposeUpgrade) raced against the faults; each acked bump
+	// makes every surviving replica hot-swap its app microprotocol
+	// through a live epoch swap. 0 disables upgrades.
+	Upgrades int
 }
 
 // DReport is the outcome of one distributed storm.
@@ -69,6 +74,7 @@ type DReport struct {
 	// Storm activity.
 	Crashes, Restarts, Partitions, Heals, RateFlips int
 	WritesAcked, WritesFailed                       int
+	UpgradesProposed, UpgradesFailed                int
 
 	// Invariant outcomes.
 	Converged   bool               // all replicas ended with the same map
@@ -77,6 +83,11 @@ type DReport struct {
 	WedgedSites []transport.NodeID // sites whose post-storm write failed
 	SiteErrs    []error            // computation errors surfaced after Stop
 	SettleErr   error              // non-nil: convergence deadline passed
+
+	// Upgrade invariants (populated when DConfig.Upgrades > 0).
+	WantProto       uint16   // highest acked protocol bump (0: none acked)
+	FinalProto      uint16   // converged app version reported by site 0
+	ProtoDivergence []string // sites disagreeing on app version or stack epoch
 }
 
 // Err returns nil when the storm satisfied every distributed invariant.
@@ -105,14 +116,25 @@ func (r *DReport) Err() error {
 	for _, err := range r.SiteErrs {
 		errs = append(errs, fmt.Errorf("%s: site error: %w", tag, err))
 	}
+	if r.WantProto > 0 && r.FinalProto < r.WantProto {
+		errs = append(errs, fmt.Errorf("%s: acked upgrade lost: converged on app v%d, want v%d",
+			tag, r.FinalProto, r.WantProto))
+	}
+	for _, msg := range r.ProtoDivergence {
+		errs = append(errs, fmt.Errorf("%s: upgrade divergence: %s", tag, msg))
+	}
 	return errors.Join(errs...)
 }
 
 // String summarizes the storm for logs.
 func (r *DReport) String() string {
-	return fmt.Sprintf("dchaos[%s seed=%d]: %d sites — %d crashes, %d restarts, %d partitions, %d heals, %d rate flips; %d writes acked, %d failed; converged=%v",
+	s := fmt.Sprintf("dchaos[%s seed=%d]: %d sites — %d crashes, %d restarts, %d partitions, %d heals, %d rate flips; %d writes acked, %d failed; converged=%v",
 		r.Backend, r.Seed, r.Sites, r.Crashes, r.Restarts, r.Partitions, r.Heals, r.RateFlips,
 		r.WritesAcked, r.WritesFailed, r.Converged)
+	if r.UpgradesProposed+r.UpgradesFailed > 0 {
+		s += fmt.Sprintf("; %d upgrades acked, %d failed, app v%d", r.UpgradesProposed, r.UpgradesFailed, r.FinalProto)
+	}
+	return s
 }
 
 // fabric abstracts one cluster substrate: which transport hosts each
@@ -279,6 +301,31 @@ func DRun(cfg DConfig) (*DReport, error) {
 		ledger[key] = val
 	}
 
+	// Upgrade schedule: which storm steps additionally propose a protocol
+	// bump through a healthy site. Versions ascend from 2; '^' rides the
+	// same total order as every membership op, so survivors converge even
+	// when the proposer is immediately partitioned or crashed afterwards.
+	upgradeAt := make(map[int]bool, cfg.Upgrades)
+	for len(upgradeAt) < cfg.Upgrades && len(upgradeAt) < cfg.Steps {
+		upgradeAt[rng.Intn(cfg.Steps)] = true
+	}
+	nextProto := uint16(2)
+	propose := func() {
+		h := healthy()
+		if len(h) < quorum {
+			return
+		}
+		site := h[rng.Intn(len(h))]
+		p := nextProto
+		nextProto++
+		if err := stores[site].Site().ProposeUpgrade(p); err != nil {
+			rep.UpgradesFailed++
+			return
+		}
+		rep.UpgradesProposed++
+		rep.WantProto = p
+	}
+
 	write("warmup")
 	for step := 0; step < cfg.Steps; step++ {
 		switch rng.Intn(6) {
@@ -337,6 +384,9 @@ func DRun(cfg DConfig) (*DReport, error) {
 			write("burst")
 			write("burst")
 		}
+		if upgradeAt[step] {
+			propose()
+		}
 		write("step")
 		time.Sleep(cfg.StepPause)
 	}
@@ -376,6 +426,14 @@ func DRun(cfg DConfig) (*DReport, error) {
 				break
 			}
 		}
+		// Every acked protocol bump must land on every replica: same app
+		// version everywhere, at least the highest acked one.
+		for _, s := range stores {
+			if v := s.Site().AppVersion(); v < rep.WantProto || (rep.WantProto > 0 && v != stores[0].Site().AppVersion()) {
+				same = false
+				break
+			}
+		}
 		if same {
 			rep.Converged = true
 			break
@@ -398,6 +456,26 @@ func DRun(cfg DConfig) (*DReport, error) {
 	rep.LostWrites = dedupStrings(rep.LostWrites)
 	for _, s := range stores {
 		rep.FinalViews = append(rep.FinalViews, s.Site().View().String())
+	}
+	// Upgrade convergence: every replica must agree on the app version,
+	// the view's protocol field (also covered by the split-brain check —
+	// View.String renders it), and the stack epoch: one live swap per
+	// applied bump, identical everywhere because '^' is totally ordered.
+	rep.FinalProto = stores[0].Site().AppVersion()
+	refEpoch := stores[0].Site().Epoch()
+	for i, s := range stores {
+		if v := s.Site().AppVersion(); v != rep.FinalProto {
+			rep.ProtoDivergence = append(rep.ProtoDivergence,
+				fmt.Sprintf("site %d runs app v%d, site 0 runs v%d", i, v, rep.FinalProto))
+		}
+		if p := s.Site().View().Proto(); rep.WantProto > 0 && p != rep.FinalProto {
+			rep.ProtoDivergence = append(rep.ProtoDivergence,
+				fmt.Sprintf("site %d view proto v%d does not match app v%d", i, p, rep.FinalProto))
+		}
+		if e := s.Site().Epoch(); e != refEpoch {
+			rep.ProtoDivergence = append(rep.ProtoDivergence,
+				fmt.Sprintf("site %d at stack epoch %d, site 0 at %d", i, e, refEpoch))
+		}
 	}
 
 	// Clean drain: Stop everywhere, then collect computation errors.

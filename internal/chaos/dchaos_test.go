@@ -68,6 +68,44 @@ func TestDistributedStorms(t *testing.T) {
 	}
 }
 
+// TestDistributedStormWithUpgrades races live protocol upgrades against
+// the fault storm: mid-storm ProposeUpgrade flips ride the total order
+// while transports crash, partitions isolate minorities, and messages
+// drop. Every acked bump must land on every replica — same app version,
+// same view proto, same stack epoch — with zero acked-write loss across
+// the epoch swaps.
+func TestDistributedStormWithUpgrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed chaos storm")
+	}
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			var proposed int
+			for _, seed := range stormSeeds(t) {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					rep, err := DRun(DConfig{Backend: backend, Seed: seed, Upgrades: 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Log(rep)
+					if err := rep.Err(); err != nil {
+						t.Fatal(err)
+					}
+					if rep.WritesAcked == 0 {
+						t.Fatal("storm acked no writes; the harness exercised nothing")
+					}
+					proposed += rep.UpgradesProposed
+				})
+			}
+			if proposed == 0 {
+				t.Error("no upgrade was ever acked; the battery exercised no epoch swaps")
+			}
+		})
+	}
+}
+
 // TestDistributedStormReplaysDeterministically: the same seed must yield
 // the same fault schedule (crash/partition/heal/rate-flip counts) on the
 // deterministic backend, so failures can be replayed via CHAOS_SEED.

@@ -13,6 +13,7 @@ import (
 type Computation struct {
 	id    uint64
 	stack *Stack
+	epoch *epochSnap // the configuration epoch this computation is pinned to
 	token Token
 	spec  *Spec
 	ctx   context.Context // bounds the computation; context.Background() if unbounded
@@ -33,6 +34,30 @@ type Computation struct {
 
 // ID reports the computation's stack-unique identifier.
 func (c *Computation) ID() uint64 { return c.id }
+
+// Epoch reports the configuration epoch the computation is pinned to:
+// its dispatch reads that epoch's binding table for its entire lifetime,
+// even if a Reconfigure installs a successor mid-flight.
+func (c *Computation) Epoch() uint64 {
+	if c.epoch != nil {
+		return c.epoch.n
+	}
+	return 0
+}
+
+// handlers resolves an event type against the computation's pinned
+// epoch — the dispatch-path twin of Stack.handlers. The retired check
+// feeds the dead-epoch probe: a pinned epoch can never retire while the
+// computation is active, so a hit means the pin protocol is broken.
+func (c *Computation) handlers(et *EventType) []*Handler {
+	if ep := c.epoch; ep != nil {
+		if ep.retired.Load() {
+			c.stack.deadDispatch.Add(1)
+		}
+		return ep.bindings[et]
+	}
+	return c.stack.handlers(et)
+}
 
 // Spec reports the spec the computation was spawned with.
 func (c *Computation) Spec() *Spec { return c.spec }

@@ -48,7 +48,7 @@ func (c *Context) Trigger(et *EventType, msg Message) error {
 // order — the paper's "triggerAll". All bound handlers run even if an
 // earlier one fails; the joined errors are returned.
 func (c *Context) TriggerAll(et *EventType, msg Message) error {
-	hs := c.comp.stack.handlers(et)
+	hs := c.comp.handlers(et)
 	var errs []error
 	for _, h := range hs {
 		if err := c.comp.stack.callSync(c.comp, c.inv, et, h, msg); err != nil {
@@ -75,7 +75,7 @@ func (c *Context) AsyncTrigger(et *EventType, msg Message) error {
 // to et — the paper's "asyncTriggerAll". Each handler runs in its own
 // computation thread.
 func (c *Context) AsyncTriggerAll(et *EventType, msg Message) error {
-	hs := c.comp.stack.handlers(et)
+	hs := c.comp.handlers(et)
 	var errs []error
 	for _, h := range hs {
 		if err := c.comp.stack.callAsync(c.comp, c.inv, et, h, msg); err != nil {
@@ -109,7 +109,7 @@ func (c *Context) Fork(fn func(ctx *Context) error) {
 }
 
 func (c *Context) single(et *EventType) (*Handler, error) {
-	hs := c.comp.stack.handlers(et)
+	hs := c.comp.handlers(et)
 	switch len(hs) {
 	case 0:
 		return nil, &UnboundError{Event: et.Name()}

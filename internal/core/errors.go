@@ -77,17 +77,36 @@ func (e *DeadlineError) Error() string {
 func (e *DeadlineError) Unwrap() error { return e.Err }
 
 // LifecycleError reports an unbalanced controller protocol discovered by
-// Stack.Close: the number of computations that began (Spawn or an accepted
-// retry) differs from the number that ended (Complete or a retired retry
-// token). A non-zero difference means a controller leaked or double-freed
-// per-computation state.
+// Stack.Close — or, when Epoch is non-zero, by the retirement of that
+// configuration epoch: the number of computations that began (Spawn or an
+// accepted retry) differs from the number that ended (Complete or a
+// retired retry token). A non-zero difference means a controller leaked
+// or double-freed per-computation state.
 type LifecycleError struct {
+	Epoch uint64 // 0: the global close-time check
 	Begun uint64
 	Ended uint64
 }
 
 func (e *LifecycleError) Error() string {
+	if e.Epoch != 0 {
+		return fmt.Sprintf("samoa: lifecycle imbalance retiring epoch %d: %d computations begun, %d ended", e.Epoch, e.Begun, e.Ended)
+	}
 	return fmt.Sprintf("samoa: lifecycle imbalance on close: %d computations begun, %d ended", e.Begun, e.Ended)
+}
+
+// ReconfiguredError reports a computation whose spec declares a
+// microprotocol that a live reconfiguration has removed: the slot stopped
+// admitting new claims when the removing epoch installed. Callers racing
+// a reconfiguration should rebuild their spec against the new epoch and
+// retry.
+type ReconfiguredError struct {
+	MP    string // the removed microprotocol
+	Epoch uint64 // the epoch whose installation removed it
+}
+
+func (e *ReconfiguredError) Error() string {
+	return fmt.Sprintf("samoa: microprotocol %s was removed by reconfiguration (epoch %d); rebuild the spec and retry", e.MP, e.Epoch)
 }
 
 // UnboundError reports a trigger of an event type with no bound handler.

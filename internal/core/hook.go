@@ -21,6 +21,11 @@ const (
 	// YieldComplete precedes the controller's Complete call, so a
 	// scheduler can delay a computation's final release arbitrarily.
 	YieldComplete
+	// YieldReconfigure precedes a Reconfigure's edit-and-install section,
+	// so a deterministic scheduler can interleave epoch swaps with the
+	// spawn/release points of running computations, and the chaos harness
+	// can fault a reconfiguration before it commits.
+	YieldReconfigure
 )
 
 // Hook is the deterministic-scheduler integration point: when attached

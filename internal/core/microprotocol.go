@@ -38,7 +38,8 @@ type Snapshotter interface {
 // it into rollback-based scheduling. It panics after the stack sealed.
 func (p *Microprotocol) SetSnapshotter(s Snapshotter) {
 	if st := p.stack; st != nil && st.isSealed() {
-		panic(fmt.Sprintf("samoa: SetSnapshotter on %s after stack sealed", p.name))
+		panic(fmt.Sprintf("samoa: SetSnapshotter on %s after its stack sealed (epoch %d is live; attach it to a replacement microprotocol via Reconfigure)",
+			p.name, st.CurrentEpoch()))
 	}
 	p.snap = s
 }
@@ -100,7 +101,8 @@ func (p *Microprotocol) AddHandler(name string, fn HandlerFunc, opts ...HandlerO
 		panic(fmt.Sprintf("samoa: duplicate handler %s.%s", p.name, name))
 	}
 	if s := p.stack; s != nil && s.isSealed() {
-		panic(fmt.Sprintf("samoa: AddHandler %s.%s after stack sealed", p.name, name))
+		panic(fmt.Sprintf("samoa: AddHandler %s.%s after its stack sealed (epoch %d is live; build a replacement microprotocol and install it via Reconfigure)",
+			p.name, name, s.CurrentEpoch()))
 	}
 	h := &Handler{mp: p, name: name, fn: fn}
 	for _, o := range opts {

@@ -16,29 +16,31 @@ import (
 //
 // A stack is built in two phases. First, Register microprotocols and Bind
 // event types to handlers; this phase is single-threaded and guarded by
-// mu. The first Isolated call seals the stack and publishes an immutable
-// binding snapshot through an atomic pointer; afterwards dispatch
-// (Trigger, TriggerAll, Bound) is lock-free and allocation-free — readers
-// only dereference the snapshot. Bindings are immutable after sealing
-// (the paper's static-binding assumption) except through Rebind, which
-// only succeeds while no computation is active and republishes a fresh
-// snapshot (copy-on-write; in-flight readers keep the old table).
+// mu. The first Isolated call seals the stack and publishes the binding
+// table as epoch 1 — an immutable snapshot behind an atomic pointer;
+// afterwards dispatch (Trigger, TriggerAll, Bound) is lock-free and
+// allocation-free — readers only dereference the snapshot. Bindings are
+// immutable within an epoch (the paper's static-binding assumption);
+// Reconfigure installs a successor epoch on a live stack (see epoch.go),
+// and Rebind remains as the quiescent-only special case.
 type Stack struct {
 	name   string
 	ctrl   Controller
 	tracer Tracer
 	hook   Hook // deterministic-scheduler hook; nil in production
 
-	mu       sync.Mutex // guards bindings and mps during the build phase and Rebind
+	mu       sync.Mutex // guards bindings, mps, and history during build, Rebind, and Reconfigure
 	bindings map[*EventType][]*Handler
 	mps      map[string]*Microprotocol
 
-	// snap is the published immutable binding table; nil until sealed.
-	// Handler slices reachable from a published snapshot are never
-	// mutated — Rebind builds a new table and swaps the pointer.
-	snap   atomic.Pointer[map[*EventType][]*Handler]
-	sealed atomic.Bool
-	active atomic.Int64 // computations between Isolated entry and return
+	// snap is the current epoch — the published immutable binding table;
+	// nil until sealed. Everything reachable from a published epoch is
+	// never mutated — Reconfigure builds a new epoch and swaps the
+	// pointer. history holds every installed epoch, oldest first.
+	snap    atomic.Pointer[epochSnap]
+	history []*epochSnap // guarded by mu
+	sealed  atomic.Bool
+	active  atomic.Int64 // computations between Isolated entry and return
 
 	compSeq atomic.Uint64
 	invSeq  atomic.Uint64
@@ -46,12 +48,18 @@ type Stack struct {
 	// Shutdown state (Close). begun/ended count controller lifecycle
 	// legs — a Spawn or an accepted retry begins one, a Complete or a
 	// retired retry token ends one — so Close can verify the balance the
-	// controllers' proofs assume.
+	// controllers' proofs assume. The same legs are mirrored per epoch
+	// for retirement accounting.
 	closed    atomic.Bool
 	begun     atomic.Uint64
 	ended     atomic.Uint64
 	drained   chan struct{}
 	drainOnce sync.Once
+
+	// Epoch retirement diagnostics (see epoch.go).
+	epochMu      sync.Mutex
+	epochErrs    []error
+	deadDispatch atomic.Uint64
 }
 
 // StackOption configures a Stack at creation.
@@ -99,7 +107,8 @@ func (s *Stack) Register(mps ...*Microprotocol) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.sealed.Load() {
-		panic("samoa: Register after stack sealed")
+		panic(fmt.Sprintf("samoa: Register on stack %q after it sealed (epoch %d is live; use Reconfigure)",
+			s.name, s.CurrentEpoch()))
 	}
 	for _, mp := range mps {
 		if mp.stack != nil {
@@ -131,8 +140,8 @@ func (s *Stack) Bind(et *EventType, hs ...*Handler) {
 		for i, h := range hs {
 			names[i] = h.String()
 		}
-		panic(fmt.Sprintf("samoa: Bind %q → [%s] on stack %q after its first computation sealed the binding table (use Rebind)",
-			et.Name(), strings.Join(names, " "), s.name))
+		panic(fmt.Sprintf("samoa: Bind %q → [%s] on stack %q after its first computation sealed the binding table (epoch %d is live; use Reconfigure, or Rebind while quiescent)",
+			et.Name(), strings.Join(names, " "), s.name, s.CurrentEpoch()))
 	}
 	s.bindLocked(et, hs)
 }
@@ -144,15 +153,18 @@ func (s *Stack) Bind(et *EventType, hs ...*Handler) {
 // On success the new binding table is republished atomically.
 func (s *Stack) Rebind(et *EventType, hs ...*Handler) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.active.Load() > 0 {
+		s.mu.Unlock()
 		return ErrActiveComputations
 	}
 	delete(s.bindings, et)
 	s.bindLocked(et, hs)
+	var old *epochSnap
 	if s.sealed.Load() {
-		s.publishLocked()
+		old = s.installLocked(EpochChange{})
 	}
+	s.mu.Unlock()
+	s.maybeRetire(old)
 	return nil
 }
 
@@ -165,38 +177,64 @@ func (s *Stack) bindLocked(et *EventType, hs []*Handler) {
 	}
 }
 
-// publishLocked snapshots the binding table into a fresh immutable map
-// and swaps it in for lock-free dispatch. Callers hold s.mu.
-func (s *Stack) publishLocked() {
-	snap := make(map[*EventType][]*Handler, len(s.bindings))
+// installLocked publishes the binding table as a fresh epoch and returns
+// the epoch it superseded (nil at seal time). The old epoch is marked
+// superseded *before* the pointer swap, so the pin protocol's
+// increment-then-recheck and exitEpoch's superseded check together
+// guarantee the old epoch's retirement fires exactly once its last
+// computation exits; callers must invoke maybeRetire(old) after releasing
+// s.mu to cover the already-quiescent case. Callers hold s.mu.
+func (s *Stack) installLocked(ch EpochChange) *epochSnap {
+	old := s.snap.Load()
+	n := uint64(1)
+	if old != nil {
+		n = old.n + 1
+	}
+	bindings := make(map[*EventType][]*Handler, len(s.bindings))
 	for et, hs := range s.bindings {
 		out := make([]*Handler, len(hs))
 		copy(out, hs)
-		snap[et] = out
+		bindings[et] = out
 	}
-	s.snap.Store(&snap)
+	ep := &epochSnap{n: n, bindings: bindings, drained: make(chan struct{})}
+	s.history = append(s.history, ep)
+	if old != nil {
+		ch.Epoch = n
+		old.succ = ch
+		old.superseded.Store(true)
+	}
+	s.snap.Store(ep)
+	if old != nil {
+		if r, ok := s.ctrl.(Reconfigurer); ok {
+			r.InstallEpoch(old.succ)
+		}
+	}
+	return old
 }
 
-// seal publishes the binding snapshot on the first computation. After it
-// returns, s.snap is non-nil and dispatch never touches s.mu again.
+// seal publishes the binding snapshot as epoch 1 on the first
+// computation. After it returns, s.snap is non-nil and dispatch never
+// touches s.mu again.
 func (s *Stack) seal() {
 	if s.sealed.Load() {
 		return
 	}
 	s.mu.Lock()
 	if !s.sealed.Load() {
-		s.publishLocked()
+		s.installLocked(EpochChange{})
 		s.sealed.Store(true)
 	}
 	s.mu.Unlock()
 }
 
-// handlers returns the binding slice for et without copying. Post-seal
-// this is a lock-free read of the published snapshot; the result is
-// immutable and must not be modified.
+// handlers returns the current epoch's binding slice for et without
+// copying. Post-seal this is a lock-free read of the published snapshot;
+// the result is immutable and must not be modified. Dispatch inside a
+// computation goes through Computation.handlers instead, which reads the
+// computation's pinned epoch.
 func (s *Stack) handlers(et *EventType) []*Handler {
-	if snap := s.snap.Load(); snap != nil {
-		return (*snap)[et]
+	if ep := s.snap.Load(); ep != nil {
+		return ep.bindings[et]
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -247,8 +285,9 @@ func (s *Stack) Isolated(spec *Spec, root func(ctx *Context) error) error {
 // inside long-running bodies).
 func (s *Stack) IsolatedCtx(ctx context.Context, spec *Spec, root func(ctx *Context) error) error {
 	s.seal()
+	ep := s.pin()
 	s.active.Add(1)
-	defer s.exitActive()
+	defer s.exitActive(ep)
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -262,7 +301,7 @@ func (s *Stack) IsolatedCtx(ctx context.Context, spec *Spec, root func(ctx *Cont
 	}
 	var retryToken Token
 	for {
-		err, retry, next := s.attempt(ctx, spec, root, retryToken)
+		err, retry, next := s.attempt(ctx, ep, spec, root, retryToken)
 		if retry {
 			retryToken = next
 			continue
@@ -271,18 +310,30 @@ func (s *Stack) IsolatedCtx(ctx context.Context, spec *Spec, root func(ctx *Cont
 	}
 }
 
+// beginLeg / endLeg book one controller lifecycle leg, globally (for
+// Close) and on the computation's pinned epoch (for retirement).
+func (s *Stack) beginLeg(ep *epochSnap) {
+	s.begun.Add(1)
+	ep.begun.Add(1)
+}
+
+func (s *Stack) endLeg(ep *epochSnap) {
+	s.ended.Add(1)
+	ep.ended.Add(1)
+}
+
 // attempt runs one execution attempt of a computation. It owns the
 // controller end protocol for the attempt's token: every path that
 // acquires (or inherits) a token ends it via Complete or hands it to
 // PrepareRetry, panics included — the invariant Close's lifecycle check
 // verifies.
-func (s *Stack) attempt(ctx context.Context, spec *Spec, root func(ctx *Context) error, retryToken Token) (err error, retry bool, next Token) {
+func (s *Stack) attempt(ctx context.Context, ep *epochSnap, spec *Spec, root func(ctx *Context) error, retryToken Token) (err error, retry bool, next Token) {
 	if yerr := s.yieldSafe(nil, YieldSpawn); yerr != nil {
 		// The hook faulted before Spawn: no token exists yet, unless this
 		// is a retry attempt whose inherited token must still be retired.
 		if retryToken != nil {
 			s.ctrl.Complete(retryToken)
-			s.ended.Add(1)
+			s.endLeg(ep)
 		}
 		return yerr, false, nil
 	}
@@ -295,15 +346,16 @@ func (s *Stack) attempt(ctx context.Context, spec *Spec, root func(ctx *Context)
 		if token, serr = s.ctrl.Spawn(ctx, spec); serr != nil {
 			return serr, false, nil
 		}
-		s.begun.Add(1)
+		s.beginLeg(ep)
 	} else if cerr := ctx.Err(); cerr != nil {
 		s.ctrl.Complete(token)
-		s.ended.Add(1)
+		s.endLeg(ep)
 		return &DeadlineError{Stage: "spawn", Err: cerr}, false, nil
 	}
 	comp := &Computation{
 		id:    s.compSeq.Add(1),
 		stack: s,
+		epoch: ep,
 		token: token,
 		spec:  spec,
 		ctx:   ctx,
@@ -324,13 +376,13 @@ func (s *Stack) attempt(ctx context.Context, spec *Spec, root func(ctx *Context)
 				s.tracer.Aborted(comp.id)
 				// The retired token ends one lifecycle leg; the accepted
 				// retry begins the next.
-				s.ended.Add(1)
-				s.begun.Add(1)
+				s.endLeg(ep)
+				s.beginLeg(ep)
 				return nil, true, nextTok
 			}
 			s.tracer.Aborted(comp.id)
 			// PrepareRetry declined and cleaned up: the token is retired.
-			s.ended.Add(1)
+			s.endLeg(ep)
 			return err, false, nil
 		}
 	}
@@ -338,7 +390,7 @@ func (s *Stack) attempt(ctx context.Context, spec *Spec, root func(ctx *Context)
 		err = yerr
 	}
 	s.ctrl.Complete(token)
-	s.ended.Add(1)
+	s.endLeg(ep)
 	s.tracer.Completed(comp.id)
 	return err, false, nil
 }
@@ -382,9 +434,12 @@ func (s *Stack) yieldSafe(comp *Computation, p YieldPoint) (err error) {
 	return nil
 }
 
-// exitActive retires one active computation and completes the drain when
-// it was the last one a closing stack was waiting for.
-func (s *Stack) exitActive() {
+// exitActive retires one active computation — first from its pinned
+// epoch (possibly completing that epoch's retirement), then from the
+// global count, completing the drain when it was the last one a closing
+// stack was waiting for.
+func (s *Stack) exitActive(ep *epochSnap) {
+	s.exitEpoch(ep)
 	if s.active.Add(-1) == 0 && s.closed.Load() {
 		s.drainOnce.Do(func() { close(s.drained) })
 	}

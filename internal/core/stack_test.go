@@ -187,8 +187,9 @@ func TestComputationIDsIncrease(t *testing.T) {
 }
 
 // TestBindAfterSealPanicNamesBinding checks the construction-order panic
-// names the event, the handlers being bound and the stack — enough to
-// find the late Bind without a stack trace.
+// names the event, the handlers being bound, the stack, and — now that
+// "sealed" is an epoch, not forever — the live epoch and the Reconfigure
+// way out.
 func TestBindAfterSealPanicNamesBinding(t *testing.T) {
 	s := core.NewStack(cc.NewNone(), core.WithName("audit"))
 	p := core.NewMicroprotocol("p")
@@ -202,7 +203,7 @@ func TestBindAfterSealPanicNamesBinding(t *testing.T) {
 	late := core.NewEventType("late")
 	defer func() {
 		msg, _ := recover().(string)
-		for _, want := range []string{`"late"`, "p.h", `"audit"`, "Rebind"} {
+		for _, want := range []string{`"late"`, "p.h", `"audit"`, "Rebind", "epoch 1", "Reconfigure"} {
 			if !strings.Contains(msg, want) {
 				t.Errorf("panic %q missing %q", msg, want)
 			}
@@ -210,4 +211,46 @@ func TestBindAfterSealPanicNamesBinding(t *testing.T) {
 	}()
 	s.Bind(late, h)
 	t.Fatal("Bind after seal did not panic")
+}
+
+// TestPostSealPanicsNameEpoch pins the epoch identity in every post-seal
+// mutation panic: after a reconfiguration the messages must name the
+// *current* epoch, so the error points at the configuration actually
+// live when the late mutation happened.
+func TestPostSealPanicsNameEpoch(t *testing.T) {
+	s := core.NewStack(cc.NewNone(), core.WithName("late"))
+	p := core.NewMicroprotocol("p")
+	h := p.AddHandler("h", nopHandler)
+	s.Register(p)
+	et := core.NewEventType("e")
+	s.Bind(et, h)
+	if err := s.External(core.Access(p), et, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reconfigure(func(*core.Epoch) {}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if got := s.CurrentEpoch(); got != 2 {
+		t.Fatalf("CurrentEpoch = %d, want 2", got)
+	}
+	check := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			msg, _ := recover().(string)
+			if msg == "" {
+				t.Errorf("%s after seal did not panic with a message", name)
+				return
+			}
+			for _, want := range []string{"epoch 2", "Reconfigure"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("%s panic %q missing %q", name, msg, want)
+				}
+			}
+		}()
+		fn()
+	}
+	check("Register", func() { s.Register(core.NewMicroprotocol("q")) })
+	check("AddHandler", func() { p.AddHandler("late", nopHandler) })
+	check("SetSnapshotter", func() { p.SetSnapshotter(nil) })
+	check("Bind", func() { s.Bind(core.NewEventType("e2"), h) })
 }

@@ -1,6 +1,9 @@
 package gc
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,7 +121,13 @@ type Site struct {
 	causal  *Causal
 	app     *App
 
-	specs specSet
+	// specs is the per-entry-point spec set for the stack's current
+	// configuration epoch. A live upgrade republishes it (buildSpecs)
+	// right after the swap; readers load it per spawn and retry through
+	// spawnRetry when they raced the window.
+	specs  atomic.Pointer[specSet]
+	upMu   sync.Mutex    // serializes maybeUpgrade
+	appVer atomic.Uint32 // current app protocol version (starts at 1)
 
 	quit     chan struct{}
 	stopOnce sync.Once
@@ -187,7 +196,8 @@ func NewSite(cfg Config) *Site {
 	s.memb = newMembership(cfg.ID, v, s.ev)
 	s.fifo = newFifo(cfg.ID, s.ev, cfg.FDeliver)
 	s.causal = newCausal(cfg.ID, s.ev, cfg.CDeliver)
-	s.app = newApp(cfg.Deliver, cfg.RDeliver, cfg.OnViewChange)
+	s.app = newApp(1, cfg.Deliver, cfg.RDeliver, cfg.OnViewChange, s.maybeUpgrade)
+	s.appVer.Store(1)
 
 	s.stack.Register(s.netout.mp, s.relcomm.mp, s.relcast.mp, s.fd.mp,
 		s.cons.mp, s.ab.mp, s.memb.mp, s.fifo.mp, s.causal.mp, s.app.mp)
@@ -287,7 +297,7 @@ func (s *Site) buildSpecs() {
 			return b.Basic(roots...)
 		}
 	}
-	s.specs = specSet{
+	sp := &specSet{
 		fromnet:   build(s.relcomm.hRecv),
 		ack:       build(s.relcomm.hRecv), // see pump: acks never cascade
 		beat:      build(s.fd.hBeat),
@@ -303,15 +313,62 @@ func (s *Site) buildSpecs() {
 	// Acks only touch RelComm state: declare exactly that.
 	switch s.cfg.SpecKind {
 	case SpecRoute:
-		s.specs.ack = core.Route(core.NewRouteGraph().
+		sp.ack = core.Route(core.NewRouteGraph().
 			Root(s.relcomm.hRecv).Edge(s.relcomm.hRecv, s.netout.send))
 	case SpecBound:
-		s.specs.ack = core.AccessBound(map[*core.Microprotocol]int{
+		sp.ack = core.AccessBound(map[*core.Microprotocol]int{
 			s.relcomm.mp: 2, s.netout.mp: 2,
 		})
 	default:
-		s.specs.ack = core.Access(s.relcomm.mp, s.netout.mp)
+		sp.ack = core.Access(s.relcomm.mp, s.netout.mp)
 	}
+	s.specs.Store(sp)
+}
+
+// spawnRetry runs one external computation against the current spec set,
+// retrying when its spec raced a live upgrade: ReconfiguredError means
+// the set was republished for a new configuration epoch between the load
+// and the spawn, so the retry simply picks up the rebuilt specs.
+func (s *Site) spawnRetry(run func(*specSet) error) error {
+	for tries := 0; ; tries++ {
+		err := run(s.specs.Load())
+		var re *core.ReconfiguredError
+		if !errors.As(err, &re) || tries >= 8 {
+			return err
+		}
+		runtime.Gosched()
+	}
+}
+
+// maybeUpgrade performs a delivered protocol bump. It runs inside the
+// deliverView computation — the same total-order point on every member —
+// building the next App incarnation and swapping it in with one live
+// Reconfigure. Replace keeps the app's isolation identity (its version
+// slot continues under the new microprotocol), so in-flight computations
+// of the superseded epoch serialize against the new version's, and the
+// spec set is rebuilt against the new identity for subsequent spawns. A
+// bump at or below the running version is a no-op (duplicate or stale
+// '^' deliveries).
+func (s *Site) maybeUpgrade(proto uint16) {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	old := s.app
+	if proto <= old.ver {
+		return
+	}
+	next := newApp(proto, s.cfg.Deliver, s.cfg.RDeliver, s.cfg.OnViewChange, s.maybeUpgrade)
+	if err := s.stack.Reconfigure(func(e *core.Epoch) {
+		e.Replace(old.mp.Name(), next.mp)
+	}); err != nil {
+		// A site mid-Stop loses the race to Close; that is not an error.
+		if !errors.Is(err, core.ErrClosed) {
+			s.record(fmt.Errorf("gc: upgrade to v%d: %w", proto, err))
+		}
+		return
+	}
+	s.app = next
+	s.buildSpecs()
+	s.appVer.Store(uint32(proto))
 }
 
 // Start launches the receive pump and the timer loops (none in Passive
@@ -323,9 +380,9 @@ func (s *Site) Start() {
 	s.wg.Add(1)
 	go s.pump()
 	if s.cfg.FDInterval > 0 {
-		s.startTicker(s.cfg.FDInterval, s.specs.fdtick, s.ev.FDTick)
+		s.startTicker(s.cfg.FDInterval, func(sp *specSet) *core.Spec { return sp.fdtick }, s.ev.FDTick)
 	}
-	s.startTicker(s.cfg.RTO/2, s.specs.retrans, s.ev.RetrTick)
+	s.startTicker(s.cfg.RTO/2, func(sp *specSet) *core.Spec { return sp.retrans }, s.ev.RetrTick)
 }
 
 // Stop shuts the site down: it crashes the node (unblocking the pump),
@@ -373,15 +430,15 @@ func (s *Site) pump() {
 		if len(d.Payload) == 0 {
 			continue
 		}
-		var spec *core.Spec
+		var pick func(*specSet) *core.Spec
 		var et *core.EventType
 		switch d.Payload[0] {
 		case dgBeat:
-			spec, et = s.specs.beat, s.ev.FDBeat
+			pick, et = func(sp *specSet) *core.Spec { return sp.beat }, s.ev.FDBeat
 		case dgAck:
-			spec, et = s.specs.ack, s.ev.FromNet
+			pick, et = func(sp *specSet) *core.Spec { return sp.ack }, s.ev.FromNet
 		default:
-			spec, et = s.specs.fromnet, s.ev.FromNet
+			pick, et = func(sp *specSet) *core.Spec { return sp.fromnet }, s.ev.FromNet
 		}
 		select {
 		case s.sem <- struct{}{}:
@@ -392,13 +449,15 @@ func (s *Site) pump() {
 		go func(d transport.Datagram) {
 			defer s.wg.Done()
 			defer func() { <-s.sem }()
-			s.record(s.stack.External(spec, et, d))
+			s.record(s.spawnRetry(func(sp *specSet) error {
+				return s.stack.External(pick(sp), et, d)
+			}))
 		}(d)
 	}
 }
 
 // startTicker runs a skip-if-busy periodic computation.
-func (s *Site) startTicker(period time.Duration, spec *core.Spec, et *core.EventType) {
+func (s *Site) startTicker(period time.Duration, pick func(*specSet) *core.Spec, et *core.EventType) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -420,7 +479,9 @@ func (s *Site) startTicker(period time.Duration, spec *core.Spec, et *core.Event
 			go func() {
 				defer s.wg.Done()
 				defer func() { <-busy }()
-				s.record(s.stack.External(spec, et, nil))
+				s.record(s.spawnRetry(func(sp *specSet) error {
+					return s.stack.External(pick(sp), et, nil)
+				}))
 			}()
 		}
 	}()
@@ -461,50 +522,85 @@ func (s *Site) PumpRetries() uint64 { return s.pumpRetries.Load() }
 // ABcast atomically (totally-ordered) broadcasts an application payload:
 // one isolated computation triggering the ABcast event, per paper §4.
 func (s *Site) ABcast(data []byte) error {
-	return s.stack.External(s.specs.abcast, s.ev.ABcastEv, abcastReq{kind: castApp, data: data})
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.abcast, s.ev.ABcastEv, abcastReq{kind: castApp, data: data})
+	})
 }
 
 // RBcast reliably broadcasts an application payload with no ordering
 // guarantee beyond RelCast's.
 func (s *Site) RBcast(data []byte) error {
-	return s.stack.External(s.specs.rbcast, s.ev.Bcast, &CastMsg{Kind: castRApp, Data: data})
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.rbcast, s.ev.Bcast, &CastMsg{Kind: castRApp, Data: data})
+	})
 }
 
 // FBcast reliably broadcasts with FIFO order: every site delivers this
 // site's FBcasts in send order.
 func (s *Site) FBcast(data []byte) error {
-	return s.stack.External(s.specs.fbcast, s.ev.FifoEv, append([]byte(nil), data...))
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.fbcast, s.ev.FifoEv, append([]byte(nil), data...))
+	})
 }
 
 // CBcast reliably broadcasts with causal order: a message is delivered
 // only after everything that causally precedes it.
 func (s *Site) CBcast(data []byte) error {
-	return s.stack.External(s.specs.cbcast, s.ev.CausalEv, append([]byte(nil), data...))
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.cbcast, s.ev.CausalEv, append([]byte(nil), data...))
+	})
 }
 
 // Join proposes adding a site to the view (totally ordered, so every
 // member installs the same view sequence).
 func (s *Site) Join(id transport.NodeID) error {
-	return s.stack.External(s.specs.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '+', site: id})
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '+', site: id})
+	})
 }
 
 // Leave proposes removing a site from the view.
 func (s *Site) Leave(id transport.NodeID) error {
-	return s.stack.External(s.specs.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '-', site: id})
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '-', site: id})
+	})
 }
+
+// ProposeUpgrade proposes a protocol-version bump: a '^' membership
+// operation carried through the total order like a join or leave, so
+// every member upgrades its app microprotocol — one live epoch swap per
+// site — at the same delivery point. A proposal at or below the running
+// version is delivered and ignored.
+func (s *Site) ProposeUpgrade(proto uint16) error {
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.joinleave, s.ev.JoinLeave, joinLeaveReq{op: '^', site: transport.NodeID(proto)})
+	})
+}
+
+// AppVersion reports the protocol version the site's app microprotocol
+// currently runs (1 until an upgrade is delivered).
+func (s *Site) AppVersion() uint16 { return uint16(s.appVer.Load()) }
+
+// Epoch reports the stack's current configuration epoch — it advances by
+// one per applied upgrade.
+func (s *Site) Epoch() uint64 { return s.stack.CurrentEpoch() }
 
 // InjectViewChange runs a local view-delivery computation, as if
 // Membership had just delivered [op site] — the E6 entry point for
 // reproducing the §3 race without the full join choreography.
 func (s *Site) InjectViewChange(op byte, site transport.NodeID) error {
 	m := CastMsg{ID: MsgID{Origin: s.cfg.ID, Seq: ^uint64(0)}, Kind: castViewChg, Op: op, Site: site}
-	return s.stack.ExternalAll(s.specs.inject, s.ev.ADeliver, m)
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.ExternalAll(sp.inject, s.ev.ADeliver, m)
+	})
 }
 
 // InjectDatagram feeds a raw datagram into the stack as if it had arrived
 // from the network, running it as a FromNet computation (test helper).
 func (s *Site) InjectDatagram(d transport.Datagram) error {
-	return s.stack.External(s.specs.fromnet, s.ev.FromNet, d)
+	return s.spawnRetry(func(sp *specSet) error {
+		return s.stack.External(sp.fromnet, s.ev.FromNet, d)
+	})
 }
 
 // BuildCastDatagram builds the raw datagram a RelComm at `from` would have

@@ -9,9 +9,11 @@ import (
 )
 
 // View is a group view: the current set of sites considered non-faulty
-// (paper §3). Views are immutable; operations return new views.
+// (paper §3), plus the protocol version the group runs. Views are
+// immutable; operations return new views.
 type View struct {
 	members []transport.NodeID // sorted
+	proto   uint16             // 0: baseline (no upgrade proposed yet)
 }
 
 // NewView builds a view from the given members.
@@ -19,6 +21,20 @@ func NewView(members ...transport.NodeID) *View {
 	v := &View{members: append([]transport.NodeID(nil), members...)}
 	sort.Slice(v.members, func(i, j int) bool { return v.members[i] < v.members[j] })
 	return v
+}
+
+// Proto reports the group's protocol version: 0 until an upgrade is
+// delivered, then the highest version any '^' operation carried.
+func (v *View) Proto() uint16 { return v.proto }
+
+// WithProto returns a view running the given protocol version. Like the
+// membership operations it is delivered through ABcast, so every member
+// adopts the version at the same total-order point.
+func (v *View) WithProto(p uint16) *View {
+	if v.proto == p {
+		return v
+	}
+	return &View{members: v.members, proto: p}
 }
 
 // Members returns the members in ascending order. The slice must not be
@@ -39,7 +55,9 @@ func (v *View) Add(id transport.NodeID) *View {
 	if v.Contains(id) {
 		return v
 	}
-	return NewView(append(append([]transport.NodeID(nil), v.members...), id)...)
+	out := NewView(append(append([]transport.NodeID(nil), v.members...), id)...)
+	out.proto = v.proto
+	return out
 }
 
 // Remove returns a view with the site removed (no-op if absent).
@@ -53,13 +71,22 @@ func (v *View) Remove(id transport.NodeID) *View {
 			out = append(out, m)
 		}
 	}
-	return &View{members: out}
+	return &View{members: out, proto: v.proto}
 }
 
-// Apply performs the paper's "view op site" with op ∈ {+,-}.
+// Apply performs the paper's "view op site" with op ∈ {+,-}, extended
+// with '^': a protocol upgrade, whose operand is the version number
+// rather than a site. Upgrades never downgrade — a stale '^' reordered
+// behind a newer one is a no-op.
 func (v *View) Apply(op byte, id transport.NodeID) *View {
-	if op == '-' {
+	switch op {
+	case '-':
 		return v.Remove(id)
+	case '^':
+		if p := uint16(id); p > v.proto {
+			return v.WithProto(p)
+		}
+		return v
 	}
 	return v.Add(id)
 }
@@ -80,5 +107,9 @@ func (v *View) String() string {
 	for i, m := range v.members {
 		parts[i] = fmt.Sprintf("%d", m)
 	}
-	return "{" + strings.Join(parts, ",") + "}"
+	out := "{" + strings.Join(parts, ",") + "}"
+	if v.proto != 0 {
+		out += fmt.Sprintf("@v%d", v.proto)
+	}
+	return out
 }
